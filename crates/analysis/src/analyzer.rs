@@ -1,0 +1,586 @@
+//! The whole-program termination analyzer: configuration, intra-procedural
+//! analysis (§5.1) and inter-procedural analysis via summaries (§5.2).
+
+use crate::{Both, MpExp, MpLlrf, Ordered, PhaseAnalysis};
+use compact_graph::{omega_path_expression, path_expression_to, DiGraph, EdgeId, NodeId};
+use compact_lang::{compile, CompileError, EdgeLabel, Procedure, Program};
+use compact_logic::{Formula, Symbol, Term};
+use compact_polyhedra::affine_hull;
+use compact_regex::{Interpretation, OmegaRegex, Regex};
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, MpAlgebra, TfAlgebra, TransitionFormula};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Which ranking-function based operator to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RankingChoice {
+    /// Linear lexicographic ranking functions (the default).
+    Lexicographic,
+    /// Plain linear ranking functions only (the paper's footnote-3 ablation).
+    LinearOnly,
+    /// Do not use ranking functions.
+    None,
+}
+
+/// Configuration of the analyzer: which mortal precondition operators and
+/// combinators to use (the rows of Table 2).
+#[derive(Clone, Debug)]
+pub struct AnalyzerConfig {
+    /// The ranking-function operator.
+    pub ranking: RankingChoice,
+    /// Whether to use the `mpexp` operator (§6.1).
+    pub use_exp: bool,
+    /// Whether to wrap the base operator in phase analysis (§6.2).
+    pub use_phase: bool,
+}
+
+impl AnalyzerConfig {
+    /// ComPACT's default configuration: `mpPhase(P, mpLLRF ⋉ mpexp)`.
+    pub fn compact_default() -> AnalyzerConfig {
+        AnalyzerConfig { ranking: RankingChoice::Lexicographic, use_exp: true, use_phase: true }
+    }
+
+    /// `mpLLRF` only (Table 2, "LLRF only").
+    pub fn llrf_only() -> AnalyzerConfig {
+        AnalyzerConfig { ranking: RankingChoice::Lexicographic, use_exp: false, use_phase: false }
+    }
+
+    /// `mpPhase(P, mpLLRF)` (Table 2, "LLRF + phase").
+    pub fn llrf_phase() -> AnalyzerConfig {
+        AnalyzerConfig { ranking: RankingChoice::Lexicographic, use_exp: false, use_phase: true }
+    }
+
+    /// `mpexp` only (Table 2, "exp only").
+    pub fn exp_only() -> AnalyzerConfig {
+        AnalyzerConfig { ranking: RankingChoice::None, use_exp: true, use_phase: false }
+    }
+
+    /// `mpPhase(P, mpexp)` (Table 2, "exp + phase").
+    pub fn exp_phase() -> AnalyzerConfig {
+        AnalyzerConfig { ranking: RankingChoice::None, use_exp: true, use_phase: true }
+    }
+
+    /// A human-readable name for the configuration.
+    pub fn describe(&self) -> String {
+        let base = match (self.ranking, self.use_exp) {
+            (RankingChoice::Lexicographic, true) => "LLRF⋉exp".to_string(),
+            (RankingChoice::Lexicographic, false) => "LLRF".to_string(),
+            (RankingChoice::LinearOnly, true) => "LRF⋉exp".to_string(),
+            (RankingChoice::LinearOnly, false) => "LRF".to_string(),
+            (RankingChoice::None, true) => "exp".to_string(),
+            (RankingChoice::None, false) => "none".to_string(),
+        };
+        if self.use_phase {
+            format!("phase({})", base)
+        } else {
+            base
+        }
+    }
+
+    /// Builds the mortal precondition operator described by the
+    /// configuration.
+    pub fn build_operator(&self) -> Box<dyn MortalPreconditionOperator> {
+        let ranking = match self.ranking {
+            RankingChoice::Lexicographic => Some(MpLlrf::new()),
+            RankingChoice::LinearOnly => Some(MpLlrf::linear_only()),
+            RankingChoice::None => None,
+        };
+        let base: Box<dyn MortalPreconditionOperator> = match (ranking, self.use_exp) {
+            (Some(r), true) => Box::new(Ordered::new(r, MpExp::new())),
+            (Some(r), false) => Box::new(r),
+            (None, true) => Box::new(MpExp::new()),
+            (None, false) => Box::new(Both::new(MpLlrf::new(), MpExp::new())),
+        };
+        if self.use_phase {
+            Box::new(PhaseAnalysis::new(base))
+        } else {
+            base
+        }
+    }
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig::compact_default()
+    }
+}
+
+/// The outcome of a termination analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Every execution terminates (the mortal precondition is valid).
+    Terminating,
+    /// Termination was proved only under a non-trivial condition.
+    Conditional,
+    /// No useful mortal precondition was found.
+    Unknown,
+}
+
+/// The result of analyzing a program or a loop.
+#[derive(Clone, Debug)]
+pub struct TerminationReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// The mortal precondition computed for the entry vertex.
+    pub mortal_precondition: Formula,
+    /// Wall-clock time spent in the analysis.
+    pub analysis_time: Duration,
+    /// The name of the operator configuration used.
+    pub operator: String,
+}
+
+impl TerminationReport {
+    /// Returns `true` if the program was proved terminating from every
+    /// initial state.
+    pub fn proved_termination(&self) -> bool {
+        self.verdict == Verdict::Terminating
+    }
+
+    /// Returns `true` if a non-trivial conditional termination argument was
+    /// found.
+    pub fn proved_conditional(&self) -> bool {
+        matches!(self.verdict, Verdict::Terminating | Verdict::Conditional)
+    }
+}
+
+/// The ComPACT termination analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use compact_analysis::Analyzer;
+/// let analyzer = Analyzer::with_default_config();
+/// let report = analyzer
+///     .analyze_source("proc main() { while (x > 0) { x := x - 1; } }")
+///     .unwrap();
+/// assert!(report.proved_termination());
+/// ```
+pub struct Analyzer {
+    config: AnalyzerConfig,
+    solver: Solver,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: AnalyzerConfig) -> Analyzer {
+        Analyzer { config, solver: Solver::new() }
+    }
+
+    /// Creates an analyzer with ComPACT's default configuration.
+    pub fn with_default_config() -> Analyzer {
+        Analyzer::new(AnalyzerConfig::compact_default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// The underlying solver (exposed for examples and diagnostics).
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Parses, lowers and analyzes a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the source does not compile.
+    pub fn analyze_source(&self, source: &str) -> Result<TerminationReport, CompileError> {
+        let program = compile(source)?;
+        Ok(self.analyze_program(&program))
+    }
+
+    /// Analyzes a lowered program.
+    pub fn analyze_program(&self, program: &Program) -> TerminationReport {
+        let start = Instant::now();
+        let operator = self.config.build_operator();
+        let mp = if program.has_calls() {
+            self.interprocedural_mortal_precondition(program, &operator)
+        } else {
+            let main = program.entry_procedure();
+            self.procedure_mortal_precondition(program, main, &BTreeMap::new(), &operator)
+        };
+        let mp = self.solver.prune(&mp);
+        self.report(mp, start.elapsed())
+    }
+
+    /// Computes a mortal precondition for a single loop body given as a
+    /// transition formula (the `(-)^ω` of the configured operator).
+    pub fn loop_mortal_precondition(&self, body: &TransitionFormula) -> Formula {
+        let operator = self.config.build_operator();
+        operator.mortal_precondition(&self.solver, body)
+    }
+
+    fn report(&self, mp: Formula, elapsed: Duration) -> TerminationReport {
+        let verdict = if self.solver.is_valid(&mp) {
+            Verdict::Terminating
+        } else if self.solver.is_sat(&mp) {
+            Verdict::Conditional
+        } else {
+            Verdict::Unknown
+        };
+        TerminationReport {
+            verdict,
+            mortal_precondition: mp,
+            analysis_time: elapsed,
+            operator: self.config.describe(),
+        }
+    }
+
+    /// Intra-procedural analysis of one procedure: interpret the ω-path
+    /// expression of its CFG (calls are interpreted via `summaries`).
+    fn procedure_mortal_precondition(
+        &self,
+        program: &Program,
+        procedure: &Procedure,
+        summaries: &BTreeMap<String, TransitionFormula>,
+        operator: &dyn MortalPreconditionOperator,
+    ) -> Formula {
+        let expr = omega_path_expression(&procedure.graph, procedure.entry);
+        let algebra = TfAlgebra::new(&self.solver, program.vars.clone());
+        let mp_algebra = MpAlgebra::new(&self.solver, operator);
+        let interp = Interpretation::new(&algebra, &mp_algebra, |edge: &EdgeId| {
+            self.edge_semantics(program, procedure, *edge, summaries)
+        });
+        interp.eval_omega(&expr).simplify()
+    }
+
+    fn edge_semantics(
+        &self,
+        program: &Program,
+        procedure: &Procedure,
+        edge: EdgeId,
+        summaries: &BTreeMap<String, TransitionFormula>,
+    ) -> TransitionFormula {
+        match procedure.label(edge) {
+            EdgeLabel::Transition(t) => t.extend_footprint(&program.vars),
+            EdgeLabel::Call(name) => summaries
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| TransitionFormula::bottom(&program.vars)),
+        }
+    }
+
+    /// Inter-procedural analysis (§5.2): compute procedure summaries by a
+    /// closure-accelerated fixpoint, build the ICFG, and interpret its ω-path
+    /// expression from the entry of the main procedure.
+    fn interprocedural_mortal_precondition(
+        &self,
+        program: &Program,
+        operator: &dyn MortalPreconditionOperator,
+    ) -> Formula {
+        let summaries = self.compute_summaries(program);
+        let (icfg, labels, entry) = self.build_icfg(program, &summaries);
+        let expr = omega_path_expression(&icfg, entry);
+        let algebra = TfAlgebra::new(&self.solver, program.vars.clone());
+        let mp_algebra = MpAlgebra::new(&self.solver, operator);
+        let interp =
+            Interpretation::new(&algebra, &mp_algebra, |edge: &EdgeId| labels[*edge].clone());
+        interp.eval_omega(&expr).simplify()
+    }
+
+    /// Computes the summary assignment `S` of §5.2 by Kleene iteration
+    /// accelerated with the closure operator `ρ(T) = ρ_P(T) ∧ ρ_aff(T)`
+    /// (Appendix B).
+    pub fn compute_summaries(&self, program: &Program) -> BTreeMap<String, TransitionFormula> {
+        let vars = program.vars.clone();
+        let mut summaries: BTreeMap<String, TransitionFormula> = program
+            .procedures
+            .iter()
+            .map(|p| (p.name.clone(), TransitionFormula::bottom(&vars)))
+            .collect();
+        let max_rounds = 2 * vars.len() + 10;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            let mut next = summaries.clone();
+            for procedure in &program.procedures {
+                let body = self.procedure_summary_body(program, procedure, &summaries);
+                let closed = self.closure(&body);
+                let previous = &summaries[&procedure.name];
+                if !(closed.entails(&self.solver, previous)
+                    && previous.entails(&self.solver, &closed))
+                {
+                    changed = true;
+                }
+                next.insert(procedure.name.clone(), closed);
+            }
+            summaries = next;
+            if !changed {
+                break;
+            }
+        }
+        summaries
+    }
+
+    /// `M(p, S)`: the interpretation of `PathExp(entry(p), exit(p))` with the
+    /// current summary assignment.
+    fn procedure_summary_body(
+        &self,
+        program: &Program,
+        procedure: &Procedure,
+        summaries: &BTreeMap<String, TransitionFormula>,
+    ) -> TransitionFormula {
+        let expr: Regex<EdgeId> =
+            path_expression_to(&procedure.graph, procedure.entry, procedure.exit);
+        let algebra = TfAlgebra::new(&self.solver, program.vars.clone());
+        // A throw-away ω-algebra (never used for finite path expressions).
+        let mp_algebra = MpAlgebra::new(&self.solver, crate::MpExp::new());
+        let interp = Interpretation::new(&algebra, &mp_algebra, |edge: &EdgeId| {
+            self.edge_semantics(program, procedure, *edge, summaries)
+        });
+        interp.eval(&expr)
+    }
+
+    /// The closure operator `ρ(T) = ρ_P(T) ∧ ρ_aff(T)` of Appendix B, using
+    /// the ordering predicates between primed and unprimed variables and the
+    /// affine hull.
+    pub fn closure(&self, tf: &TransitionFormula) -> TransitionFormula {
+        let vars = tf.vars().to_vec();
+        let closed = tf.closed_formula();
+        if !self.solver.is_sat(&closed) {
+            return TransitionFormula::bottom(&vars);
+        }
+        let mut parts = Vec::new();
+        // ρ_P: ordering predicates x ⊲⊳ x' entailed by the summary.
+        for v in &vars {
+            let x = Term::var(*v);
+            let xp = Term::var(v.primed());
+            for predicate in [
+                Formula::le(x.clone(), xp.clone()),
+                Formula::ge(x.clone(), xp.clone()),
+                Formula::eq(x.clone(), xp.clone()),
+                Formula::lt(x.clone(), xp.clone()),
+                Formula::gt(x.clone(), xp.clone()),
+            ] {
+                if self.solver.entails(&closed, &predicate) {
+                    parts.push(predicate);
+                }
+            }
+        }
+        // ρ_aff: the affine hull of the summary.
+        let hull = affine_hull(&self.solver, &closed);
+        parts.push(hull.to_formula());
+        TransitionFormula::new(Formula::and(parts), &vars)
+    }
+
+    /// Builds the inter-procedural control flow graph of §5.2: the disjoint
+    /// union of the procedure CFGs, call edges labeled by summaries, plus
+    /// inter-procedural edges from each call site to the callee entry labeled
+    /// with the identity over the global variables.
+    fn build_icfg(
+        &self,
+        program: &Program,
+        summaries: &BTreeMap<String, TransitionFormula>,
+    ) -> (DiGraph, Vec<TransitionFormula>, NodeId) {
+        let mut graph = DiGraph::new();
+        let mut labels: Vec<TransitionFormula> = Vec::new();
+        let mut offsets: BTreeMap<String, usize> = BTreeMap::new();
+        for procedure in &program.procedures {
+            let offset = graph.num_nodes();
+            offsets.insert(procedure.name.clone(), offset);
+            for _ in 0..procedure.graph.num_nodes() {
+                graph.add_node();
+            }
+        }
+        let identity = TransitionFormula::identity(&program.vars);
+        for procedure in &program.procedures {
+            let offset = offsets[&procedure.name];
+            for (edge, e) in procedure.graph.edges() {
+                let label = match procedure.label(edge) {
+                    EdgeLabel::Transition(t) => t.extend_footprint(&program.vars),
+                    EdgeLabel::Call(name) => summaries
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_else(|| TransitionFormula::bottom(&program.vars)),
+                };
+                graph.add_edge(offset + e.src, offset + e.dst);
+                labels.push(label);
+                // Inter-procedural edge: call site -> callee entry.
+                if let EdgeLabel::Call(name) = procedure.label(edge) {
+                    let callee = program.procedure(name).expect("validated by the front end");
+                    graph.add_edge(offset + e.src, offsets[name] + callee.entry);
+                    labels.push(identity.clone());
+                }
+            }
+        }
+        // Ensure the analysis root has no incoming edges.
+        let main = program.entry_procedure();
+        let main_entry = offsets[&program.entry] + main.entry;
+        let root = if graph.predecessors(main_entry).count() > 0 {
+            let fresh = graph.add_node();
+            graph.add_edge(fresh, main_entry);
+            labels.push(identity);
+            fresh
+        } else {
+            main_entry
+        };
+        (graph, labels, root)
+    }
+
+    /// Evaluates the ω-path expression of an arbitrary labeled graph (used by
+    /// benchmarks that construct synthetic workloads directly).
+    pub fn mortal_precondition_of_graph(
+        &self,
+        graph: &DiGraph,
+        labels: &[TransitionFormula],
+        root: NodeId,
+        vars: &[Symbol],
+    ) -> Formula {
+        let operator = self.config.build_operator();
+        let expr: OmegaRegex<EdgeId> = omega_path_expression(graph, root);
+        let algebra = TfAlgebra::new(&self.solver, vars.to_vec());
+        let mp_algebra = MpAlgebra::new(&self.solver, operator);
+        let interp =
+            Interpretation::new(&algebra, &mp_algebra, |edge: &EdgeId| labels[*edge].clone());
+        interp.eval_omega(&expr).simplify()
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::with_default_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(source: &str) -> TerminationReport {
+        Analyzer::with_default_config().analyze_source(source).unwrap()
+    }
+
+    #[test]
+    fn straight_line_code_terminates() {
+        let report = analyze("proc main() { x := 1; y := x + 2; }");
+        assert!(report.proved_termination());
+    }
+
+    #[test]
+    fn simple_counting_loop_terminates() {
+        let report = analyze("proc main() { while (x > 0) { x := x - 1; } }");
+        assert!(report.proved_termination());
+    }
+
+    #[test]
+    fn diverging_loop_is_not_proved() {
+        let report = analyze("proc main() { while (x > 0) { x := x + 1; } }");
+        assert!(!report.proved_termination());
+        // But the conditional precondition x <= 0 is found.
+        assert_eq!(report.verdict, Verdict::Conditional);
+    }
+
+    #[test]
+    fn figure1_program_terminates() {
+        let report = analyze(
+            r#"
+            proc main() {
+                step := 8;
+                while (true) {
+                    m := 0;
+                    while (m < step) {
+                        if (n < 0) { halt; } else { m := m + 1; n := n - 1; }
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(report.proved_termination(), "got {:?}", report.verdict);
+    }
+
+    #[test]
+    fn nested_loop_with_constant_bounds() {
+        // The §7 anecdote: for i in 0..4; for j in 0..4 { i := i; }.
+        let report = analyze(
+            r#"
+            proc main() {
+                i := 0;
+                while (i < 4) {
+                    j := 0;
+                    while (j < 4) { i := i; j := j + 1; }
+                    i := i + 1;
+                }
+            }
+            "#,
+        );
+        assert!(report.proved_termination(), "got {:?}", report.verdict);
+    }
+
+    #[test]
+    fn recursive_fibonacci_terminates() {
+        let report = analyze(
+            r#"
+            proc main() {
+                g := n;
+                call fib();
+            }
+            proc fib() {
+                if (g <= 1) {
+                    r := 1;
+                } else {
+                    g := g - 1;
+                    call fib();
+                    t := r;
+                    g := g - 1;
+                    call fib();
+                    r := r + t;
+                }
+            }
+            "#,
+        );
+        assert!(report.proved_termination(), "got {:?}", report.verdict);
+    }
+
+    #[test]
+    #[ignore = "covered by tests/end_to_end.rs; expensive in debug builds"]
+    fn conditional_termination_of_figure4() {
+        let report = analyze(
+            r#"
+            proc main() {
+                while (x > 0) {
+                    if (f >= 0) {
+                        x := x - y;
+                        y := y + 1;
+                        f := f + 1;
+                    } else {
+                        x := x + 1;
+                        f := f - 1;
+                    }
+                }
+            }
+            "#,
+        );
+        // The program does not always terminate, but a non-trivial mortal
+        // precondition exists (x <= 0 ∨ f >= 0).
+        assert_eq!(report.verdict, Verdict::Conditional);
+        let solver = Solver::new();
+        let f_nonneg = compact_logic::parse_formula("f >= 0").unwrap();
+        assert!(solver.entails(&f_nonneg, &report.mortal_precondition));
+    }
+
+    #[test]
+    fn config_descriptions() {
+        assert_eq!(AnalyzerConfig::compact_default().describe(), "phase(LLRF⋉exp)");
+        assert_eq!(AnalyzerConfig::llrf_only().describe(), "LLRF");
+        assert_eq!(AnalyzerConfig::exp_phase().describe(), "phase(exp)");
+    }
+
+    #[test]
+    fn summaries_of_simple_procedures() {
+        let analyzer = Analyzer::with_default_config();
+        let program = compile(
+            "proc main() { call inc(); } proc inc() { x := x + 1; }",
+        )
+        .unwrap();
+        let summaries = analyzer.compute_summaries(&program);
+        let inc = &summaries["inc"];
+        // The summary entails x' >= x + 1 (from the affine hull, even x' = x + 1).
+        let solver = analyzer.solver();
+        assert!(solver.entails(
+            &inc.closed_formula(),
+            &compact_logic::parse_formula("x' = x + 1").unwrap()
+        ));
+    }
+}

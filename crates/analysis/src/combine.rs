@@ -1,0 +1,167 @@
+//! Combinators over mortal precondition operators (§6.3).
+
+use compact_logic::Formula;
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, TransitionFormula};
+
+/// The `⊗` combinator: `(mp₁ ⊗ mp₂)(F) = mp₁(F) ∨ mp₂(F)`.
+///
+/// If both operands are monotone, so is the combination.
+pub struct Both<A, B> {
+    first: A,
+    second: B,
+    name: String,
+}
+
+impl<A: MortalPreconditionOperator, B: MortalPreconditionOperator> Both<A, B> {
+    /// Combines two operators by disjunction.
+    pub fn new(first: A, second: B) -> Both<A, B> {
+        let name = format!("{}+{}", first.name(), second.name());
+        Both { first, second, name }
+    }
+}
+
+impl<A: MortalPreconditionOperator, B: MortalPreconditionOperator> MortalPreconditionOperator
+    for Both<A, B>
+{
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        let a = self.first.mortal_precondition(solver, tf);
+        let b = self.second.mortal_precondition(solver, tf);
+        Formula::or(vec![a, b]).simplify()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The `⋉` combinator (ordered product):
+/// `(mp₁ ⋉ mp₂)(F) = mp₂(F ∧ ¬mp₁(F))`.
+///
+/// The second operator only has to prove mortality of the region that the
+/// first could not handle; provided `Pre(F) ⊨ mp₂(F)`-style coverage holds
+/// (§6.3), the result is at least as precise as `⊗`.
+pub struct Ordered<A, B> {
+    first: A,
+    second: B,
+    name: String,
+}
+
+impl<A: MortalPreconditionOperator, B: MortalPreconditionOperator> Ordered<A, B> {
+    /// Combines two operators as an ordered product.
+    pub fn new(first: A, second: B) -> Ordered<A, B> {
+        let name = format!("{}⋉{}", first.name(), second.name());
+        Ordered { first, second, name }
+    }
+}
+
+impl<A: MortalPreconditionOperator, B: MortalPreconditionOperator> MortalPreconditionOperator
+    for Ordered<A, B>
+{
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        let first = self.first.mortal_precondition(solver, tf);
+        if solver.is_valid(&first) {
+            return Formula::True;
+        }
+        let restricted = TransitionFormula::new(
+            Formula::and(vec![tf.formula().clone(), Formula::not(first.clone())]),
+            tf.vars(),
+        );
+        let second = self.second.mortal_precondition(solver, &restricted);
+        Formula::or(vec![first, second]).simplify()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A mortal precondition operator given by a closure (used by tests and by
+/// the ablation harness).
+pub struct FnOperator<F> {
+    function: F,
+    name: String,
+}
+
+impl<F: Fn(&Solver, &TransitionFormula) -> Formula> FnOperator<F> {
+    /// Wraps a closure as an operator.
+    pub fn new(name: &str, function: F) -> FnOperator<F> {
+        FnOperator { function, name: name.to_string() }
+    }
+}
+
+impl<F: Fn(&Solver, &TransitionFormula) -> Formula> MortalPreconditionOperator for FnOperator<F> {
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        (self.function)(solver, tf)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MpExp, MpLlrf};
+    use compact_logic::{parse_formula, Symbol};
+
+    fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+        let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+    }
+
+    #[test]
+    fn both_takes_the_union() {
+        let solver = Solver::new();
+        // LLRF proves nothing here (no linear ranking: x alternates), but
+        // exp handles the even-countdown case.
+        let t = tf("x != 0 && x' = x - 2", &["x"]);
+        let llrf_only = MpLlrf::new().mortal_precondition(&solver, &t);
+        let both = Both::new(MpLlrf::new(), MpExp::new()).mortal_precondition(&solver, &t);
+        // The combination is at least as weak (as good) as each component.
+        assert!(solver.entails(&llrf_only, &both));
+        let exp_only = MpExp::new().mortal_precondition(&solver, &t);
+        assert!(solver.entails(&exp_only, &both));
+        assert!(solver.is_sat(&both));
+    }
+
+    #[test]
+    fn ordered_product_is_at_least_as_precise_as_disjunction() {
+        let solver = Solver::new();
+        let cases = [
+            tf("x != 0 && x' = x - 2", &["x"]),
+            tf("x > 0 && x' = x - 1", &["x"]),
+            tf("x >= 0 && x' = x + 1", &["x"]),
+            tf("g >= 2 && (g' = g - 1 || g' = g - 2)", &["g"]),
+        ];
+        for t in &cases {
+            let both = Both::new(MpLlrf::new(), MpExp::new()).mortal_precondition(&solver, t);
+            let ordered =
+                Ordered::new(MpLlrf::new(), MpExp::new()).mortal_precondition(&solver, t);
+            assert!(
+                solver.entails(&both, &ordered),
+                "ordered product weaker than disjunction on {}",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_product_short_circuits_on_true() {
+        let solver = Solver::new();
+        let t = tf("x > 0 && x' = x - 1", &["x"]);
+        // The second operator would panic if ever called.
+        let panic_op = FnOperator::new("panic", |_: &Solver, _: &TransitionFormula| {
+            panic!("second operator should not be needed")
+        });
+        let ordered = Ordered::new(MpLlrf::new(), panic_op);
+        assert!(ordered.mortal_precondition(&solver, &t).is_true());
+    }
+
+    #[test]
+    fn names_compose() {
+        assert_eq!(Both::new(MpLlrf::new(), MpExp::new()).name(), "LLRF+exp");
+        assert_eq!(Ordered::new(MpLlrf::new(), MpExp::new()).name(), "LLRF⋉exp");
+    }
+}

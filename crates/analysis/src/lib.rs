@@ -1,0 +1,48 @@
+//! ComPACT: the compositional, monotone, conditional termination analysis of
+//! *"Termination Analysis without the Tears"* (Zhu & Kincaid, PLDI 2021).
+//!
+//! The crate provides:
+//!
+//! * the mortal precondition operators of §6 — [`MpLlrf`] (complete linear
+//!   lexicographic ranking synthesis, Example 3.2), [`MpExp`] ("termination
+//!   analysis for free", §6.1), the combinators [`Both`] (`⊗`) and
+//!   [`Ordered`] (`⋉`, §6.3), and [`PhaseAnalysis`] (`mpPhase`, §6.2 /
+//!   Algorithm 3);
+//! * the whole-program [`Analyzer`] that computes ω-path expressions of
+//!   control flow graphs (Algorithm 2) and interprets them in the TF / MP
+//!   algebras (§5.1), including the inter-procedural extension via procedure
+//!   summaries and closure operators (§5.2, Appendix B);
+//! * ranking-function synthesis utilities ([`synthesize_llrf`],
+//!   [`validate_ranking`]) used by the operators, the baselines and the
+//!   benchmark harness.
+//!
+//! # Quick start
+//!
+//! ```
+//! use compact_analysis::Analyzer;
+//! let analyzer = Analyzer::with_default_config();
+//! let report = analyzer
+//!     .analyze_source("proc main() { while (x > 0 && y > 0) { x := x - 1; y := y + x; } }")
+//!     .unwrap();
+//! assert!(report.proved_termination());
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyzer;
+mod combine;
+mod mp_exp;
+mod phase;
+mod ranking;
+
+pub use analyzer::{Analyzer, AnalyzerConfig, RankingChoice, TerminationReport, Verdict};
+pub use combine::{Both, FnOperator, Ordered};
+pub use mp_exp::MpExp;
+pub use phase::{
+    cell_literals, count_satisfied_predicates, direction_predicates, is_invariant_predicate,
+    phase_transition_graph, PhaseAnalysis, PhaseTransitionGraph,
+};
+pub use ranking::{
+    synthesize_llrf, validate_ranking, LexicographicRankingFunction, MpLlrf, RankingComponent,
+    RankingResult,
+};

@@ -1,0 +1,158 @@
+//! The `mpexp` operator: "termination analysis for free" (§6.1).
+//!
+//! A state `s` is mortal if, for some `k`, every state reachable from `s` in
+//! `k` steps has no successor.  This condition is under-approximated with
+//! the `exp` operator of §3.3:
+//!
+//! ```text
+//! mpexp(F) ≜ ∃k. ∀Var', Var''. k ≥ 0 ∧ (exp(F, k) ⇒ ¬G)
+//! where G ≜ F[Var ↦ Var', Var' ↦ Var'']
+//! ```
+
+use compact_logic::{Formula, Symbol, Term};
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, TransitionFormula};
+use std::collections::BTreeMap;
+
+/// The `mpexp` mortal precondition operator (§6.1).
+///
+/// It is monotone because `F` and `exp(F, k)` only occur in negative
+/// positions of the defining formula and `exp` itself is monotone.
+#[derive(Clone, Debug, Default)]
+pub struct MpExp;
+
+impl MpExp {
+    /// Creates the operator.
+    pub fn new() -> MpExp {
+        MpExp
+    }
+}
+
+impl MortalPreconditionOperator for MpExp {
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        let vars = tf.vars().to_vec();
+        let k = Symbol::fresh("exp_k");
+        let exp = tf.exp(solver, k);
+
+        // G = F with Var ↦ Var' and Var' ↦ Var''.  Auxiliary symbols of F are
+        // renamed fresh so the two copies of F do not share them; they are
+        // universally quantified (¬∃aux.G ≡ ∀aux.¬G).
+        let mut shift: BTreeMap<Symbol, Term> = BTreeMap::new();
+        let mut second_primed: Vec<Symbol> = Vec::new();
+        for v in &vars {
+            let v1 = v.primed();
+            let v2 = v1.primed();
+            shift.insert(*v, Term::var(v1));
+            shift.insert(v1, Term::var(v2));
+            second_primed.push(v2);
+        }
+        let g_formula = tf.formula().clone();
+        let mut aux_rename: BTreeMap<Symbol, Term> = BTreeMap::new();
+        let allowed: Vec<Symbol> = vars
+            .iter()
+            .flat_map(|v| [*v, v.primed()])
+            .collect();
+        for s in g_formula.free_vars() {
+            if !allowed.contains(&s) {
+                aux_rename.insert(s, Term::var(Symbol::fresh(&format!("{}#g", s.name()))));
+            }
+        }
+        let g = g_formula.substitute(&aux_rename).substitute(&shift);
+
+        // Universally quantified variables: Var', Var'', G's auxiliaries and
+        // exp's auxiliaries (there are none besides k, which is existential).
+        let mut universals: Vec<Symbol> = vars.iter().map(Symbol::primed).collect();
+        universals.extend(second_primed);
+        for s in g.free_vars() {
+            if !vars.contains(&s) && !universals.contains(&s) {
+                universals.push(s);
+            }
+        }
+        for s in exp.free_vars() {
+            if !vars.contains(&s) && !universals.contains(&s) && s != k {
+                universals.push(s);
+            }
+        }
+
+        let body = Formula::and(vec![
+            Formula::ge(Term::var(k), Term::constant(0)),
+            Formula::forall(universals, Formula::implies(exp, Formula::not(g))),
+        ]);
+        let mp = Formula::exists(vec![k], body);
+        solver.qe(&mp).simplify()
+    }
+
+    fn name(&self) -> &str {
+        "exp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+        let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+    }
+
+    #[test]
+    fn example_6_1_even_countdown() {
+        // while (x != 0) x := x - 2 : mortal iff x is a non-negative even
+        // number.
+        let solver = Solver::new();
+        let t = tf("x != 0 && x' = x - 2", &["x"]);
+        let mp = MpExp::new().mortal_precondition(&solver, &t);
+        let expected = parse_formula("exists k. k >= 0 && x = 2*k").unwrap();
+        assert!(solver.equivalent(&mp, &expected), "got {}", mp);
+    }
+
+    #[test]
+    fn simple_countdown() {
+        // while (x > 0) x := x - 1 terminates from every state.
+        let solver = Solver::new();
+        let t = tf("x > 0 && x' = x - 1", &["x"]);
+        let mp = MpExp::new().mortal_precondition(&solver, &t);
+        assert!(solver.is_valid(&mp), "got {}", mp);
+    }
+
+    #[test]
+    fn diverging_loop_has_false_like_precondition() {
+        // while (x >= 0) x := x + 1 diverges from every x >= 0.
+        let solver = Solver::new();
+        let t = tf("x >= 0 && x' = x + 1", &["x"]);
+        let mp = MpExp::new().mortal_precondition(&solver, &t);
+        assert!(solver.equivalent(&mp, &parse_formula("x < 0").unwrap()), "got {}", mp);
+    }
+
+    #[test]
+    fn nondeterministic_guarded_walk() {
+        // while (x > 0) x := x - 1 or x := x - 2: still terminating.
+        let solver = Solver::new();
+        let t = tf("x > 0 && (x' = x - 1 || x' = x - 2)", &["x"]);
+        let mp = MpExp::new().mortal_precondition(&solver, &t);
+        assert!(solver.is_valid(&mp), "got {}", mp);
+    }
+
+    #[test]
+    fn mortal_preconditions_are_sound() {
+        // For every operator output, no state satisfying it may start an
+        // infinite concrete run (checked by bounded simulation on a loop with
+        // a known divergence region).
+        let solver = Solver::new();
+        // Diverges exactly when x >= 10 (it re-enters the region forever).
+        let t = tf("x >= 10 && x' = x + 1", &["x"]);
+        let mp = MpExp::new().mortal_precondition(&solver, &t);
+        // x = 12 diverges, so it must not satisfy mp.
+        let at_12 = mp.substitute(
+            &[(Symbol::intern("x"), Term::constant(12))].into_iter().collect(),
+        );
+        assert!(!solver.is_valid(&at_12));
+        // x = 3 is mortal (the guard fails immediately).
+        let at_3 = mp.substitute(
+            &[(Symbol::intern("x"), Term::constant(3))].into_iter().collect(),
+        );
+        assert!(solver.is_valid(&at_3));
+    }
+}

@@ -1,0 +1,423 @@
+//! Phase analysis (§6.2, Algorithm 3).
+//!
+//! Phase analysis improves a base mortal precondition operator by splitting
+//! the transitions of a loop into *phases*: cells of the partition induced by
+//! the `F`-invariant direction predicates.  Any infinite execution of the
+//! loop eventually stays inside one cell, so the loop terminates if every
+//! cell does — and the cells are often much better behaved than the loop
+//! itself (Figure 4 of the paper).
+
+use compact_graph::{omega_path_expression, DiGraph};
+use compact_logic::{Atom, Formula, Symbol, Term, Valuation};
+use compact_regex::Interpretation;
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, MpAlgebra, TfAlgebra, TransitionFormula};
+
+/// Maximum number of cells before phase analysis falls back to the base
+/// operator.
+const CELL_LIMIT: usize = 24;
+
+/// The direction predicates `{x < x', x = x', x > x'}` for every program
+/// variable (the predicate set `P` used by ComPACT, §7).
+pub fn direction_predicates(vars: &[Symbol]) -> Vec<Formula> {
+    let mut out = Vec::new();
+    for v in vars {
+        let x = Term::var(*v);
+        let xp = Term::var(v.primed());
+        out.push(Formula::lt(x.clone(), xp.clone()));
+        out.push(Formula::eq(x.clone(), xp.clone()));
+        out.push(Formula::gt(x, xp));
+    }
+    out
+}
+
+/// Checks whether a transition predicate is `F`-invariant: if some transition
+/// of `F` satisfies `p`, then so does every subsequent transition, i.e.
+/// `(F ∧ p) ∘ (F ∧ ¬p)` is inconsistent.
+pub fn is_invariant_predicate(solver: &Solver, tf: &TransitionFormula, p: &Formula) -> bool {
+    let vars = tf.vars();
+    let with_p = TransitionFormula::new(
+        Formula::and(vec![tf.formula().clone(), p.clone()]),
+        vars,
+    );
+    let with_not_p = TransitionFormula::new(
+        Formula::and(vec![tf.formula().clone(), Formula::not(p.clone())]),
+        vars,
+    );
+    let composed = with_p.compose(&with_not_p);
+    !solver.is_sat(composed.formula())
+}
+
+/// A phase transition graph (the output of Algorithm 3): a labeled control
+/// flow graph whose vertices are the cells of the phase partition plus a
+/// virtual start vertex.
+pub struct PhaseTransitionGraph {
+    /// The graph; node 0 is the virtual start vertex `s`.
+    pub graph: DiGraph,
+    /// The label of each edge (self-loops carry the cell formula, other
+    /// edges carry the identity transition).
+    pub labels: Vec<TransitionFormula>,
+    /// The cell formulas, indexed by `node - 1`.
+    pub cells: Vec<TransitionFormula>,
+}
+
+/// Constructs the reduced phase transition graph of Algorithm 3.
+///
+/// Returns `None` if the number of cells exceeds the internal limit.
+pub fn phase_transition_graph(
+    solver: &Solver,
+    tf: &TransitionFormula,
+    predicates: &[Formula],
+) -> Option<PhaseTransitionGraph> {
+    let vars = tf.vars().to_vec();
+    // S: literals over the F-invariant predicates.
+    let invariant: Vec<Formula> = predicates
+        .iter()
+        .filter(|p| is_invariant_predicate(solver, tf, p))
+        .cloned()
+        .collect();
+    let literals: Vec<Formula> = invariant
+        .iter()
+        .cloned()
+        .chain(invariant.iter().map(|p| Formula::not(p.clone())))
+        .collect();
+
+    // Enumerate the cells of the partition by repeated SAT queries.
+    let mut cells: Vec<(TransitionFormula, usize)> = Vec::new(); // (cell, #positive literals)
+    loop {
+        let blocking = Formula::and(
+            cells
+                .iter()
+                .map(|(c, _)| Formula::not(c.formula().clone()))
+                .collect(),
+        );
+        let query = Formula::and(vec![tf.formula().clone(), blocking]);
+        let Some(model) = solver.model(&query) else { break };
+        // Complete the model over Var ∪ Var' so every literal evaluates.
+        let mut complete = model.clone();
+        for v in &vars {
+            for sym in [*v, v.primed()] {
+                if !complete.contains(&sym) {
+                    complete.set(sym, 0.into());
+                }
+            }
+        }
+        let mut chosen = Vec::new();
+        let mut positives = 0usize;
+        for (idx, lit) in literals.iter().enumerate() {
+            if eval_transition_formula(lit, &complete) {
+                chosen.push(lit.clone());
+                if idx < invariant.len() {
+                    positives += 1;
+                }
+            }
+        }
+        let cell = TransitionFormula::new(
+            Formula::and(std::iter::once(tf.formula().clone()).chain(chosen).collect()),
+            &vars,
+        );
+        cells.push((cell, positives));
+        if cells.len() > CELL_LIMIT {
+            return None;
+        }
+    }
+
+    // Sort by number of positive literals: invariant predicates can only be
+    // acquired along an execution, so phase transitions go from fewer to more
+    // positive literals.
+    cells.sort_by_key(|(_, positives)| *positives);
+    let cells: Vec<TransitionFormula> = cells.into_iter().map(|(c, _)| c).collect();
+    let n = cells.len();
+
+    // Compute the reduced phase transitions.
+    let mut graph = DiGraph::with_nodes(n + 1); // node 0 = start vertex s
+    let mut labels: Vec<TransitionFormula> = Vec::new();
+    let mut adjacency: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    let add_cell_edge =
+        |graph: &mut DiGraph, labels: &mut Vec<TransitionFormula>, from: usize, to: usize, label: TransitionFormula| {
+            graph.add_edge(from, to);
+            labels.push(label);
+        };
+    for i in 1..n {
+        for j in (0..i).rev() {
+            if reachable(&adjacency, j, i) {
+                continue;
+            }
+            let composed = cells[j].compose(&cells[i]);
+            if solver.is_sat(composed.formula()) {
+                adjacency[j][i] = true;
+                add_cell_edge(
+                    &mut graph,
+                    &mut labels,
+                    j + 1,
+                    i + 1,
+                    TransitionFormula::identity(&vars),
+                );
+            }
+        }
+    }
+    // Connect the start vertex to cells with no incoming phase transition.
+    for i in 0..n {
+        let has_incoming = (0..n).any(|j| adjacency[j][i]);
+        if !has_incoming {
+            add_cell_edge(
+                &mut graph,
+                &mut labels,
+                0,
+                i + 1,
+                TransitionFormula::identity(&vars),
+            );
+        }
+    }
+    // Self-loops labeled by the cells.
+    for (i, cell) in cells.iter().enumerate() {
+        add_cell_edge(&mut graph, &mut labels, i + 1, i + 1, cell.clone());
+    }
+    Some(PhaseTransitionGraph { graph, labels, cells })
+}
+
+fn reachable(adjacency: &[Vec<bool>], from: usize, to: usize) -> bool {
+    if from == to {
+        return true;
+    }
+    let n = adjacency.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![from];
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        if seen[cur] {
+            continue;
+        }
+        seen[cur] = true;
+        for (next, &edge) in adjacency[cur].iter().enumerate() {
+            if edge && !seen[next] {
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+/// Evaluates a quantifier-free transition predicate under a total valuation.
+fn eval_transition_formula(f: &Formula, v: &Valuation) -> bool {
+    f.eval(v).unwrap_or_else(|| {
+        // The predicate mentions a symbol missing from the valuation; ground
+        // the remaining symbols at zero.
+        let mut extended = v.clone();
+        for atom in f.atoms() {
+            for sym in atom.vars() {
+                if !extended.contains(&sym) {
+                    extended.set(sym, 0.into());
+                }
+            }
+        }
+        f.eval(&extended).unwrap_or(false)
+    })
+}
+
+/// The `mpPhase(P, mp)` combinator (§6.2): computes a mortal precondition for
+/// a loop by interpreting the ω-path expression of its phase transition graph
+/// with the base operator.
+pub struct PhaseAnalysis<M> {
+    base: M,
+    predicates: Option<Vec<Formula>>,
+    name: String,
+}
+
+impl<M: MortalPreconditionOperator> PhaseAnalysis<M> {
+    /// Creates the combinator with the default direction predicates.
+    pub fn new(base: M) -> PhaseAnalysis<M> {
+        let name = format!("phase({})", base.name());
+        PhaseAnalysis { base, predicates: None, name }
+    }
+
+    /// Creates the combinator with a custom predicate set.
+    pub fn with_predicates(base: M, predicates: Vec<Formula>) -> PhaseAnalysis<M> {
+        let name = format!("phase({})", base.name());
+        PhaseAnalysis { base, predicates: Some(predicates), name }
+    }
+}
+
+impl<M: MortalPreconditionOperator> MortalPreconditionOperator for PhaseAnalysis<M> {
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        let vars = tf.vars().to_vec();
+        let predicates = self
+            .predicates
+            .clone()
+            .unwrap_or_else(|| direction_predicates(&vars));
+        let Some(ptg) = phase_transition_graph(solver, tf, &predicates) else {
+            return self.base.mortal_precondition(solver, tf);
+        };
+        if ptg.cells.len() <= 1 {
+            // A single phase: the phase graph adds nothing over the base
+            // operator.
+            return self.base.mortal_precondition(solver, tf);
+        }
+        let expr = omega_path_expression(&ptg.graph, 0);
+        let algebra = TfAlgebra::new(solver, vars);
+        let mp_algebra = MpAlgebra::new(solver, &self.base);
+        let interp = Interpretation::new(&algebra, &mp_algebra, |edge: &usize| {
+            ptg.labels[*edge].clone()
+        });
+        let phase_mp = interp.eval_omega(&expr).simplify();
+        // Guaranteed improvement (Theorem 6.3) holds under the wp-stability
+        // assumption; combining with the direct result keeps the operator
+        // conservative even when that assumption is violated in practice.
+        let direct = self.base.mortal_precondition(solver, tf);
+        Formula::or(vec![phase_mp, direct]).simplify()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Convenience: the number of distinct direction predicates satisfied by a
+/// transition valuation (useful for inspecting phase structure in examples).
+pub fn count_satisfied_predicates(predicates: &[Formula], transition: &Valuation) -> usize {
+    predicates
+        .iter()
+        .filter(|p| eval_transition_formula(p, transition))
+        .count()
+}
+
+/// Returns the atoms of a cell that are not part of the original loop body
+/// (i.e. the literals chosen by the phase partition).
+pub fn cell_literals<'a>(cell: &'a TransitionFormula, body: &TransitionFormula) -> Vec<&'a Atom> {
+    let body_atoms: Vec<&Atom> = body.formula().atoms();
+    cell.formula()
+        .atoms()
+        .into_iter()
+        .filter(|a| !body_atoms.contains(a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MpExp, MpLlrf, Ordered};
+    use compact_logic::parse_formula;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+        let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+    }
+
+    /// The loop of Figure 4.
+    fn figure4_loop() -> TransitionFormula {
+        tf(
+            "x > 0 && ((f >= 0 && x' = x - y && y' = y + 1 && f' = f + 1) || (f < 0 && x' = x + 1 && f' = f - 1 && y' = y))",
+            &["x", "y", "f"],
+        )
+    }
+
+    #[test]
+    fn invariance_of_direction_predicates() {
+        let solver = Solver::new();
+        let t = figure4_loop();
+        // f' > f ("f increases") is invariant: once the then-branch runs, the
+        // else-branch can never run again.
+        assert!(is_invariant_predicate(
+            &solver,
+            &t,
+            &parse_formula("f < f'").unwrap()
+        ));
+        // x' < x is invariant as well (Figure 4c).
+        assert!(is_invariant_predicate(
+            &solver,
+            &t,
+            &parse_formula("x' < x").unwrap()
+        ));
+        // x' > x is NOT invariant: x can increase (else branch) and later the
+        // then branch could decrease it? — no: once in the else branch f stays
+        // negative, so x keeps increasing; but a then-branch transition with
+        // y <= -1 also increases x and can be followed by a decreasing one.
+        assert!(!is_invariant_predicate(
+            &solver,
+            &t,
+            &parse_formula("x < x'").unwrap()
+        ));
+    }
+
+    #[test]
+    fn figure4_phase_graph_structure() {
+        let solver = Solver::new();
+        let t = figure4_loop();
+        let ptg = phase_transition_graph(&solver, &t, &direction_predicates(t.vars()))
+            .expect("within cell limit");
+        // The paper's Figure 4c has three phases.
+        assert_eq!(ptg.cells.len(), 3);
+        // Start vertex has no incoming edges.
+        assert_eq!(ptg.graph.predecessors(0).count(), 0);
+        // Every cell has a self-loop.
+        for i in 1..=ptg.cells.len() {
+            assert!(ptg.graph.successors(i).any(|(_, dst)| dst == i));
+        }
+    }
+
+    #[test]
+    fn figure4_mortal_precondition() {
+        // mpLLRF alone only proves x <= 0; phase analysis proves
+        // x <= 0 ∨ f >= 0 (Example 6.5).
+        let solver = Solver::new();
+        let t = figure4_loop();
+        let base = MpLlrf::new();
+        let plain = base.mortal_precondition(&solver, &t);
+        assert!(solver.equivalent(&plain, &parse_formula("x <= 0").unwrap()));
+        let phased = PhaseAnalysis::new(MpLlrf::new()).mortal_precondition(&solver, &t);
+        let expected = parse_formula("x <= 0 || f >= 0").unwrap();
+        assert!(
+            solver.equivalent(&phased, &expected),
+            "phase analysis produced {}",
+            phased
+        );
+    }
+
+    #[test]
+    #[ignore = "expensive (runs the full operator stack on several loops); run with --ignored"]
+    fn phase_analysis_never_hurts() {
+        let solver = Solver::new();
+        let cases = [
+            tf("x > 0 && x' = x - 1", &["x"]),
+            tf("x != 0 && x' = x - 2", &["x"]),
+            figure4_loop(),
+        ];
+        for t in &cases {
+            let base = Ordered::new(MpLlrf::new(), MpExp::new());
+            let plain = base.mortal_precondition(&solver, t);
+            let phased = PhaseAnalysis::new(Ordered::new(MpLlrf::new(), MpExp::new()))
+                .mortal_precondition(&solver, t);
+            assert!(
+                solver.entails(&plain, &phased),
+                "phase analysis lost precision on {}",
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn single_phase_falls_back_to_base() {
+        let solver = Solver::new();
+        let t = tf("x > 0 && x' = x - 1", &["x"]);
+        let phased = PhaseAnalysis::new(MpLlrf::new()).mortal_precondition(&solver, &t);
+        assert!(phased.is_true());
+    }
+
+    #[test]
+    fn direction_predicate_helpers() {
+        let preds = direction_predicates(&[sym("a"), sym("b")]);
+        assert_eq!(preds.len(), 6);
+        let mut v = Valuation::new();
+        v.set(sym("a"), 1.into());
+        v.set(sym("a'"), 2.into());
+        v.set(sym("b"), 0.into());
+        v.set(sym("b'"), 0.into());
+        assert_eq!(count_satisfied_predicates(&preds, &v), 2);
+    }
+}

@@ -1,0 +1,502 @@
+//! Synthesis of linear and linear-lexicographic ranking functions, and the
+//! `mpLLRF` mortal precondition operator (Example 3.2 of the paper).
+//!
+//! The synthesis follows the classic complete procedure (Alias–Darte–Feautrier
+//! / Gonnord et al.): the transition formula is decomposed into a union of
+//! transition polyhedra; at each round a linear function is found (via
+//! Farkas' lemma and an exact LP) that is non-negative and non-increasing on
+//! every remaining polyhedron and strictly decreasing on as many as possible;
+//! the strictly decreasing polyhedra are removed and the process repeats.
+//! The loop admits a linear lexicographic ranking function iff the process
+//! empties the set.
+
+use compact_arith::{ConstraintOp, Int, LinearProgram, LpResult, Rat};
+use compact_logic::{Formula, Symbol, Term};
+use compact_polyhedra::Polyhedron;
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, TransitionFormula};
+
+/// Maximum number of DNF cubes used in the polyhedral decomposition.
+const CUBE_LIMIT: usize = 128;
+
+/// One component of a lexicographic ranking function: an affine function of
+/// the program variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankingComponent {
+    /// Coefficients of the program variables.
+    pub coefficients: Vec<(Symbol, Rat)>,
+    /// The constant offset.
+    pub constant: Rat,
+}
+
+impl RankingComponent {
+    /// Renders the component as a linear term with cleared denominators.
+    pub fn to_term(&self) -> Term {
+        let mut denom_lcm = self.constant.denom().clone();
+        for (_, c) in &self.coefficients {
+            denom_lcm = denom_lcm.lcm(c.denom());
+        }
+        let mut term = Term::constant((self.constant.numer() * &denom_lcm) / self.constant.denom());
+        for (sym, c) in &self.coefficients {
+            let coeff = (c.numer() * &denom_lcm) / c.denom();
+            term = term + Term::var(*sym).scale(coeff);
+        }
+        term
+    }
+}
+
+/// A linear lexicographic ranking function: a sequence of components, each of
+/// which is bounded below and non-increasing on the transitions it ranks, and
+/// strictly decreasing on the transitions removed at its round.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LexicographicRankingFunction {
+    /// The components, in lexicographic order.
+    pub components: Vec<RankingComponent>,
+}
+
+/// Result of ranking-function synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankingResult {
+    /// A ranking function was found.
+    Found(LexicographicRankingFunction),
+    /// No linear lexicographic ranking function exists for the polyhedral
+    /// abstraction of the loop.
+    NotFound,
+    /// The decomposition was too large to attempt synthesis.
+    TooComplex,
+}
+
+impl RankingResult {
+    /// Returns `true` if a ranking function was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, RankingResult::Found(_))
+    }
+}
+
+/// Attempts to synthesize a linear lexicographic ranking function for a
+/// transition formula.
+///
+/// When `max_components` is 1 the synthesis is restricted to plain linear
+/// ranking functions (used for the paper's footnote-3 ablation).
+pub fn synthesize_llrf(
+    solver: &Solver,
+    tf: &TransitionFormula,
+    max_components: usize,
+) -> RankingResult {
+    let formula = tf.formula();
+    if !solver.is_sat(formula) {
+        // An empty relation is trivially ranked.
+        return RankingResult::Found(LexicographicRankingFunction::default());
+    }
+    let Some(cubes) = solver.dnf_cubes(formula, CUBE_LIMIT) else {
+        return RankingResult::TooComplex;
+    };
+    let polyhedra: Vec<Polyhedron> = cubes
+        .iter()
+        .map(|cube| Polyhedron::from_atoms(cube))
+        .filter(|p| !p.is_empty())
+        .collect();
+    if polyhedra.is_empty() {
+        return RankingResult::Found(LexicographicRankingFunction::default());
+    }
+
+    let vars: Vec<Symbol> = tf.vars().to_vec();
+    let mut remaining: Vec<Polyhedron> = polyhedra;
+    let mut components = Vec::new();
+    while !remaining.is_empty() {
+        if components.len() >= max_components {
+            return RankingResult::NotFound;
+        }
+        match synthesize_component(&vars, &remaining) {
+            None => return RankingResult::NotFound,
+            Some((component, decreasing)) => {
+                if decreasing.iter().all(|d| !d) {
+                    // No progress: no transition polyhedron strictly
+                    // decreases, so no LLRF exists (by completeness of the
+                    // per-round LP).
+                    return RankingResult::NotFound;
+                }
+                components.push(component);
+                remaining = remaining
+                    .into_iter()
+                    .zip(decreasing)
+                    .filter(|(_, dec)| !dec)
+                    .map(|(p, _)| p)
+                    .collect();
+            }
+        }
+    }
+    RankingResult::Found(LexicographicRankingFunction { components })
+}
+
+/// One round of the synthesis: find an affine function that is bounded below
+/// and non-increasing on every polyhedron, strictly decreasing on as many as
+/// possible.  Returns the component and a per-polyhedron "strictly
+/// decreasing" flag.
+fn synthesize_component(
+    vars: &[Symbol],
+    polyhedra: &[Polyhedron],
+) -> Option<(RankingComponent, Vec<bool>)> {
+    // Assemble the joint variable order of each polyhedron: the polyhedron
+    // may mention Var, Var' and auxiliary symbols.
+    let n = vars.len();
+
+    // LP variable layout:
+    //   0..n                  ranking coefficients r
+    //   n                     ranking constant r0
+    //   n+1 .. n+1+m          per-polyhedron epsilon (decrease amount)
+    //   then one block of Farkas multipliers per (polyhedron, condition).
+    let m = polyhedra.len();
+    let mut num_lp_vars = n + 1 + m;
+    // Pre-compute the constraint matrices of each polyhedron.
+    struct PolyData {
+        // Each row: (dense coefficients over its own variable order, rhs)
+        rows: Vec<(Vec<Rat>, Rat)>,
+        // Variable order of the polyhedron.
+        order: Vec<Symbol>,
+        // Index of each program variable / primed variable in `order`.
+        var_pos: Vec<Option<usize>>,
+        primed_pos: Vec<Option<usize>>,
+        // LP indices of the multipliers for (bounded, decrease) conditions.
+        bounded_multipliers: std::ops::Range<usize>,
+        decrease_multipliers: std::ops::Range<usize>,
+    }
+    let mut data = Vec::new();
+    for p in polyhedra {
+        let order: Vec<Symbol> = p.vars().into_iter().collect();
+        // A z <= b rows (equalities split in two).
+        let mut rows: Vec<(Vec<Rat>, Rat)> = Vec::new();
+        for c in p.constraints() {
+            let (coeffs, constant) = c.term.to_dense(&order);
+            // term <= 0  ⇔  coeffs·z <= -constant
+            rows.push((coeffs.clone(), -constant.clone()));
+            if c.is_eq {
+                rows.push((
+                    coeffs.iter().map(|v| -v).collect(),
+                    constant,
+                ));
+            }
+        }
+        let var_pos: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| order.iter().position(|o| o == v))
+            .collect();
+        let primed_pos: Vec<Option<usize>> = vars
+            .iter()
+            .map(|v| {
+                let p = v.primed();
+                order.iter().position(|o| *o == p)
+            })
+            .collect();
+        let bounded_multipliers = num_lp_vars..num_lp_vars + rows.len();
+        num_lp_vars += rows.len();
+        let decrease_multipliers = num_lp_vars..num_lp_vars + rows.len();
+        num_lp_vars += rows.len();
+        data.push(PolyData {
+            rows,
+            order,
+            var_pos,
+            primed_pos,
+            bounded_multipliers,
+            decrease_multipliers,
+        });
+    }
+
+    let mut lp = LinearProgram::new(num_lp_vars);
+    let zero_row = || vec![Rat::zero(); num_lp_vars];
+
+    for (idx, pd) in data.iter().enumerate() {
+        let eps_index = n + 1 + idx;
+        // 0 <= eps <= 1
+        let mut row = zero_row();
+        row[eps_index] = Rat::one();
+        lp.add_constraint(row.clone(), ConstraintOp::Ge, Rat::zero());
+        lp.add_constraint(row, ConstraintOp::Le, Rat::one());
+
+        // Multipliers are non-negative.
+        for mult in pd.bounded_multipliers.clone().chain(pd.decrease_multipliers.clone()) {
+            let mut row = zero_row();
+            row[mult] = Rat::one();
+            lp.add_constraint(row, ConstraintOp::Ge, Rat::zero());
+        }
+
+        // Condition 1 (bounded below): ∀z ∈ P: g·z + r0 >= 0 where g places
+        // r on the unprimed variables.  Farkas: g = -λᵀA and r0 >= λᵀb.
+        // Coefficient equations, one per column of the polyhedron.
+        for (col, _sym) in pd.order.iter().enumerate() {
+            let mut row = zero_row();
+            // g_col = r_i if order[col] is program variable i, else 0.
+            for (i, pos) in pd.var_pos.iter().enumerate() {
+                if *pos == Some(col) {
+                    row[i] = Rat::one();
+                }
+            }
+            // + λᵀ A column
+            for (r_idx, mult) in pd.bounded_multipliers.clone().enumerate() {
+                row[mult] = pd.rows[r_idx].0[col].clone();
+            }
+            lp.add_constraint(row, ConstraintOp::Eq, Rat::zero());
+        }
+        // r0 - λᵀ b >= 0.
+        let mut row = zero_row();
+        row[n] = Rat::one();
+        for (r_idx, mult) in pd.bounded_multipliers.clone().enumerate() {
+            row[mult] = -pd.rows[r_idx].1.clone();
+        }
+        lp.add_constraint(row, ConstraintOp::Ge, Rat::zero());
+
+        // Condition 2 (decrease by eps): ∀z ∈ P: g'·z - eps >= 0 where g'
+        // places r on unprimed and -r on primed variables.
+        for (col, _sym) in pd.order.iter().enumerate() {
+            let mut row = zero_row();
+            for (i, pos) in pd.var_pos.iter().enumerate() {
+                if *pos == Some(col) {
+                    row[i] = Rat::one();
+                }
+            }
+            for (i, pos) in pd.primed_pos.iter().enumerate() {
+                if *pos == Some(col) {
+                    row[i] = &row[i] - &Rat::one();
+                }
+            }
+            for (r_idx, mult) in pd.decrease_multipliers.clone().enumerate() {
+                row[mult] = pd.rows[r_idx].0[col].clone();
+            }
+            lp.add_constraint(row, ConstraintOp::Eq, Rat::zero());
+        }
+        // -eps - λᵀ b >= 0  (the affine part of  g'·z - eps >= 0).
+        let mut row = zero_row();
+        row[eps_index] = Rat::from(-1);
+        for (r_idx, mult) in pd.decrease_multipliers.clone().enumerate() {
+            row[mult] = -pd.rows[r_idx].1.clone();
+        }
+        lp.add_constraint(row, ConstraintOp::Ge, Rat::zero());
+    }
+
+    // Objective: maximize the sum of the epsilons.
+    let mut objective = vec![Rat::zero(); num_lp_vars];
+    for idx in 0..m {
+        objective[n + 1 + idx] = Rat::one();
+    }
+    match lp.maximize(&objective) {
+        LpResult::Optimal { point, .. } => {
+            let coefficients: Vec<(Symbol, Rat)> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (*v, point[i].clone()))
+                .collect();
+            let constant = point[n].clone();
+            let decreasing: Vec<bool> = (0..m)
+                .map(|idx| point[n + 1 + idx].is_positive())
+                .collect();
+            Some((RankingComponent { coefficients, constant }, decreasing))
+        }
+        LpResult::Infeasible => None,
+        LpResult::Unbounded => {
+            // Cannot happen: every epsilon is capped at 1 and the objective
+            // only involves epsilons.
+            None
+        }
+    }
+}
+
+/// The `mpLLRF` mortal precondition operator of Example 3.2:
+/// `true` if the loop has a linear lexicographic ranking function, and
+/// `¬Pre(F)` otherwise.
+#[derive(Clone, Debug)]
+pub struct MpLlrf {
+    /// Maximum number of lexicographic components (1 = plain linear ranking
+    /// functions; used for the footnote-3 ablation).
+    pub max_components: usize,
+}
+
+impl MpLlrf {
+    /// The default operator (lexicographic, generous component bound).
+    pub fn new() -> MpLlrf {
+        MpLlrf { max_components: 8 }
+    }
+
+    /// A linear-only variant (at most one component).
+    pub fn linear_only() -> MpLlrf {
+        MpLlrf { max_components: 1 }
+    }
+}
+
+impl Default for MpLlrf {
+    fn default() -> Self {
+        MpLlrf::new()
+    }
+}
+
+impl MortalPreconditionOperator for MpLlrf {
+    fn mortal_precondition(&self, solver: &Solver, tf: &TransitionFormula) -> Formula {
+        match synthesize_llrf(solver, tf, self.max_components) {
+            RankingResult::Found(_) => Formula::True,
+            RankingResult::NotFound | RankingResult::TooComplex => {
+                Formula::not(tf.pre(solver)).simplify()
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.max_components == 1 {
+            "LRF"
+        } else {
+            "LLRF"
+        }
+    }
+}
+
+/// Checks that a candidate ranking component certificate is valid for a
+/// transition formula (used by tests and by the property-based suite).
+pub fn validate_ranking(
+    solver: &Solver,
+    tf: &TransitionFormula,
+    llrf: &LexicographicRankingFunction,
+) -> bool {
+    if llrf.components.is_empty() {
+        return !solver.is_sat(tf.formula());
+    }
+    // Lexicographic validity: on every transition, some component strictly
+    // decreases while being bounded below, and all earlier components are
+    // non-increasing.
+    let f = tf.closed_formula();
+    let vars = tf.vars();
+    let mut prefix_nonincreasing: Vec<Formula> = Vec::new();
+    let mut cases = Vec::new();
+    for component in &llrf.components {
+        let term = component.to_term();
+        let primed: Term = {
+            let map: std::collections::BTreeMap<Symbol, Term> = vars
+                .iter()
+                .map(|v| (*v, Term::var(v.primed())))
+                .collect();
+            term.substitute(&map)
+        };
+        let decreases = Formula::and(vec![
+            Formula::ge(term.clone(), Term::constant(Int::zero())),
+            Formula::le(primed.clone(), term.clone() - 1),
+        ]);
+        cases.push(Formula::and(
+            prefix_nonincreasing
+                .iter()
+                .cloned()
+                .chain(std::iter::once(decreases))
+                .collect(),
+        ));
+        prefix_nonincreasing.push(Formula::le(primed, term));
+    }
+    solver.entails(&f, &Formula::or(cases))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+        let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+        TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+    }
+
+    #[test]
+    fn simple_countdown_has_lrf() {
+        let solver = Solver::new();
+        let t = tf("x >= 1 && x' = x - 1", &["x"]);
+        let result = synthesize_llrf(&solver, &t, 1);
+        match &result {
+            RankingResult::Found(llrf) => {
+                assert_eq!(llrf.components.len(), 1);
+                assert!(validate_ranking(&solver, &t, llrf));
+            }
+            other => panic!("expected ranking function, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn figure1_inner_loop_has_lrf() {
+        let solver = Solver::new();
+        let t = tf(
+            "m < step && n >= 0 && m' = m + 1 && n' = n - 1 && step' = step",
+            &["m", "n", "step"],
+        );
+        let result = synthesize_llrf(&solver, &t, 4);
+        assert!(result.is_found());
+        // (step - m) is a ranking function; n is another one.  Either way the
+        // operator proves termination from every state.
+        let mp = MpLlrf::new().mortal_precondition(&solver, &t);
+        assert!(mp.is_true());
+    }
+
+    #[test]
+    fn nonterminating_loop_has_no_ranking() {
+        let solver = Solver::new();
+        let t = tf("x >= 0 && x' = x + 1", &["x"]);
+        assert_eq!(synthesize_llrf(&solver, &t, 4), RankingResult::NotFound);
+        let mp = MpLlrf::new().mortal_precondition(&solver, &t);
+        // The mortal precondition is ¬Pre(F) = x < 0.
+        assert!(solver.equivalent(&mp, &parse_formula("x < 0").unwrap()));
+    }
+
+    #[test]
+    fn lexicographic_but_not_linear() {
+        // A classic nested-counter loop: (x, y) decreases lexicographically
+        // but no single linear function ranks both branches.
+        let solver = Solver::new();
+        let t = tf(
+            "(x >= 1 && y >= 0 && x' = x - 1 && y' = n) || (x >= 0 && y >= 1 && x' = x && y' = y - 1)",
+            &["x", "y", "n"],
+        );
+        assert_eq!(synthesize_llrf(&solver, &t, 1), RankingResult::NotFound);
+        let result = synthesize_llrf(&solver, &t, 4);
+        match &result {
+            RankingResult::Found(llrf) => {
+                assert!(llrf.components.len() >= 2);
+                assert!(validate_ranking(&solver, &t, llrf));
+            }
+            other => panic!("expected lexicographic ranking, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn fibonacci_body_summary_is_ranked() {
+        // Example 5.4: g >= 2 && (g' = g - 1 || g' = g - 2).
+        let solver = Solver::new();
+        let t = tf("g >= 2 && (g' = g - 1 || g' = g - 2)", &["g"]);
+        let mp = MpLlrf::new().mortal_precondition(&solver, &t);
+        assert!(mp.is_true());
+    }
+
+    #[test]
+    fn empty_relation_is_trivially_ranked() {
+        let solver = Solver::new();
+        let t = tf("x >= 1 && x <= 0", &["x"]);
+        assert!(synthesize_llrf(&solver, &t, 2).is_found());
+        assert!(MpLlrf::new()
+            .mortal_precondition(&solver, &t)
+            .is_true());
+    }
+
+    #[test]
+    fn phase_loop_needs_more_than_llrf() {
+        // The loop of Figure 4 has no LLRF (the else branch can run forever).
+        let solver = Solver::new();
+        let t = tf(
+            "x > 0 && ((f >= 0 && x' = x - y && y' = y + 1 && f' = f + 1) || (f < 0 && x' = x + 1 && f' = f - 1 && y' = y))",
+            &["x", "y", "f"],
+        );
+        assert_eq!(synthesize_llrf(&solver, &t, 4), RankingResult::NotFound);
+        let mp = MpLlrf::new().mortal_precondition(&solver, &t);
+        assert!(solver.equivalent(&mp, &parse_formula("x <= 0").unwrap()));
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(MpLlrf::new().name(), "LLRF");
+        assert_eq!(MpLlrf::linear_only().name(), "LRF");
+    }
+}

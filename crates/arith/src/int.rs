@@ -1,0 +1,801 @@
+//! Arbitrary-precision signed integers.
+//!
+//! [`Int`] is a compact, dependency-free big integer used throughout the
+//! workspace for exact arithmetic: simplex pivoting, Farkas certificates,
+//! Cooper quantifier elimination and polyhedral computations all produce
+//! intermediate values that overflow machine integers, so every numeric
+//! quantity in the analysis is an [`Int`] or a [`crate::Rat`].
+//!
+//! The representation is sign + little-endian `u32` limbs.  The algorithms
+//! are deliberately simple (schoolbook multiplication, shift-subtract
+//! division): operands in this code base are at most a few hundred bits.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use compact_arith::Int;
+/// let a = Int::from(1_000_000_007i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// assert_eq!((&b % &a), Int::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Int {
+    /// -1, 0 or 1.
+    sign: i8,
+    /// Little-endian magnitude; empty iff `sign == 0`; no trailing zero limb.
+    mag: Vec<u32>,
+}
+
+impl Int {
+    /// The integer zero.
+    pub fn zero() -> Int {
+        Int { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer one.
+    pub fn one() -> Int {
+        Int { sign: 1, mag: vec![1] }
+    }
+
+    /// The integer minus one.
+    pub fn minus_one() -> Int {
+        Int { sign: -1, mag: vec![1] }
+    }
+
+    /// Returns `true` if this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// Returns `true` if this integer is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag == [1]
+    }
+
+    /// Returns `true` if this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// Returns `true` if this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// The sign of the integer as -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.sign as i32
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int { sign: self.sign.abs(), mag: self.mag.clone() }
+    }
+
+    fn from_mag(sign: i8, mut mag: Vec<u32>) -> Int {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// Attempts to convert to `i64`, returning `None` on overflow.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.sign == 0 {
+            return Some(0);
+        }
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for (i, limb) in self.mag.iter().enumerate() {
+            v |= (*limb as u64) << (32 * i);
+        }
+        if self.sign > 0 {
+            if v <= i64::MAX as u64 {
+                Some(v as i64)
+            } else {
+                None
+            }
+        } else if v <= i64::MAX as u64 + 1 {
+            Some((v as i128 * -1) as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to convert to `i32`, returning `None` on overflow.
+    pub fn to_i32(&self) -> Option<i32> {
+        self.to_i64().and_then(|v| i32::try_from(v).ok())
+    }
+
+    /// Attempts to convert to `f64` (approximate, for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for limb in self.mag.iter().rev() {
+            v = v * 4294967296.0 + *limb as f64;
+        }
+        if self.sign < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Computes `a - b`, requiring `a >= b` (by magnitude).
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Int::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for i in 0..a.len() {
+            let mut d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn bit_len_mag(mag: &[u32]) -> usize {
+        match mag.last() {
+            None => 0,
+            Some(top) => 32 * (mag.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        Int::bit_len_mag(&self.mag)
+    }
+
+    fn shl_mag(mag: &[u32], bits: usize) -> Vec<u32> {
+        if mag.is_empty() {
+            return Vec::new();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(mag);
+        } else {
+            let mut carry: u32 = 0;
+            for &limb in mag {
+                out.push((limb << bit_shift) | carry);
+                carry = (limb >> (32 - bit_shift)) as u32;
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        while out.last() == Some(&0) {
+            out.pop();
+        }
+        out
+    }
+
+    fn get_bit(mag: &[u32], bit: usize) -> bool {
+        let limb = bit / 32;
+        if limb >= mag.len() {
+            return false;
+        }
+        (mag[limb] >> (bit % 32)) & 1 == 1
+    }
+
+    /// Divides magnitudes, returning (quotient, remainder).
+    ///
+    /// Uses a single-limb fast path and shift-subtract long division in the
+    /// general case.  Division by zero panics.
+    fn divrem_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        match Int::cmp_mag(a, b) {
+            Ordering::Less => return (Vec::new(), a.to_vec()),
+            Ordering::Equal => return (vec![1], Vec::new()),
+            Ordering::Greater => {}
+        }
+        if b.len() == 1 {
+            // Single-limb divisor.
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem: u64 = 0;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        // Shift-subtract long division, one bit at a time.
+        let n = Int::bit_len_mag(a);
+        let m = Int::bit_len_mag(b);
+        let mut rem: Vec<u32> = Vec::new();
+        let mut quo = vec![0u32; a.len()];
+        let mut shift = n - 1;
+        // Initialize remainder with the top m-1 bits of a.
+        // Simpler: process all bits from the top.
+        rem.clear();
+        for bit in (0..n).rev() {
+            // rem = rem << 1 | a[bit]
+            rem = Int::shl_mag(&rem, 1);
+            if Int::get_bit(a, bit) {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if Int::cmp_mag(&rem, b) != Ordering::Less {
+                rem = Int::sub_mag(&rem, b);
+                let limb = bit / 32;
+                quo[limb] |= 1 << (bit % 32);
+            }
+            if bit == 0 {
+                break;
+            }
+            shift = shift.saturating_sub(1);
+        }
+        let _ = (m, shift);
+        while quo.last() == Some(&0) {
+            quo.pop();
+        }
+        (quo, rem)
+    }
+
+    /// Truncating division with remainder: `self = q * other + r` with
+    /// `|r| < |other|` and `r` having the sign of `self` (or zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &Int) -> (Int, Int) {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (Int::zero(), Int::zero());
+        }
+        let (q_mag, r_mag) = Int::divrem_mag(&self.mag, &other.mag);
+        let q_sign = if q_mag.is_empty() { 0 } else { self.sign * other.sign };
+        let r_sign = if r_mag.is_empty() { 0 } else { self.sign };
+        (Int::from_mag(q_sign, q_mag), Int::from_mag(r_sign, r_mag))
+    }
+
+    /// Floor division: rounds towards negative infinity.
+    pub fn div_floor(&self, other: &Int) -> Int {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.sign * other.sign) < 0 {
+            q - Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean remainder in `[0, |other|)`.
+    pub fn rem_euclid(&self, other: &Int) -> Int {
+        let r = self % other;
+        if r.is_negative() {
+            r + other.abs()
+        } else {
+            r
+        }
+    }
+
+    /// Ceiling division: rounds towards positive infinity.
+    pub fn div_ceil(&self, other: &Int) -> Int {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.sign * other.sign) > 0 {
+            q + Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Greatest common divisor (always non-negative).
+    pub fn gcd(&self, other: &Int) -> Int {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative); `lcm(0, x) = 0`.
+    pub fn lcm(&self, other: &Int) -> Int {
+        if self.is_zero() || other.is_zero() {
+            return Int::zero();
+        }
+        let g = self.gcd(other);
+        (&self.abs() / &g) * other.abs()
+    }
+
+    /// Raises this integer to a small non-negative power.
+    pub fn pow(&self, exp: u32) -> Int {
+        let mut result = Int::one();
+        let mut base = self.clone();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Returns the minimum of two integers.
+    pub fn min(self, other: Int) -> Int {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the maximum of two integers.
+    pub fn max(self, other: Int) -> Int {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                let sign: i8 = if v > 0 { 1 } else if v < 0 { -1 } else { 0 };
+                let mut mag = Vec::new();
+                let mut m = (v as i128).unsigned_abs();
+                while m > 0 {
+                    mag.push((m & 0xFFFF_FFFF) as u32);
+                    m >>= 32;
+                }
+                Int { sign, mag }
+            }
+        }
+    )*};
+}
+
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                let sign: i8 = if v > 0 { 1 } else { 0 };
+                let mut mag = Vec::new();
+                let mut m = v as u128;
+                while m > 0 {
+                    mag.push((m & 0xFFFF_FFFF) as u32);
+                    m >>= 32;
+                }
+                Int { sign, mag }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        let mag_cmp = Int::cmp_mag(&self.mag, &other.mag);
+        if self.sign < 0 {
+            mag_cmp.reverse()
+        } else {
+            mag_cmp
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl Add<&Int> for &Int {
+    type Output = Int;
+    fn add(self, other: &Int) -> Int {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.sign == other.sign {
+            Int::from_mag(self.sign, Int::add_mag(&self.mag, &other.mag))
+        } else {
+            match Int::cmp_mag(&self.mag, &other.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_mag(self.sign, Int::sub_mag(&self.mag, &other.mag)),
+                Ordering::Less => Int::from_mag(other.sign, Int::sub_mag(&other.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl Sub<&Int> for &Int {
+    type Output = Int;
+    fn sub(self, other: &Int) -> Int {
+        self + &(-other)
+    }
+}
+
+impl Mul<&Int> for &Int {
+    type Output = Int;
+    fn mul(self, other: &Int) -> Int {
+        if self.is_zero() || other.is_zero() {
+            return Int::zero();
+        }
+        Int::from_mag(self.sign * other.sign, Int::mul_mag(&self.mag, &other.mag))
+    }
+}
+
+impl Div<&Int> for &Int {
+    type Output = Int;
+    fn div(self, other: &Int) -> Int {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem<&Int> for &Int {
+    type Output = Int;
+    fn rem(self, other: &Int) -> Int {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, other: Int) -> Int {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, other: &Int) -> Int {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, other: Int) -> Int {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Div, div);
+forward_binop!(Rem, rem);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, other: &Int) {
+        *self = &*self + other;
+    }
+}
+
+impl AddAssign<Int> for Int {
+    fn add_assign(&mut self, other: Int) {
+        *self = &*self + &other;
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, other: &Int) {
+        *self = &*self - other;
+    }
+}
+
+impl SubAssign<Int> for Int {
+    fn sub_assign(&mut self, other: Int) {
+        *self = &*self - &other;
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, other: &Int) {
+        *self = &*self * other;
+    }
+}
+
+impl MulAssign<Int> for Int {
+    fn mul_assign(&mut self, other: Int) {
+        *self = &*self * &other;
+    }
+}
+
+impl Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| a + b)
+    }
+}
+
+impl Product for Int {
+    fn product<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::one(), |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^9.
+        let mut digits: Vec<u32> = Vec::new();
+        let chunk = Int::from(1_000_000_000u32);
+        let mut cur = self.abs();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk);
+            digits.push(r.to_i64().unwrap_or(0) as u32);
+            cur = q;
+        }
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", digits.last().unwrap())?;
+        for d in digits.iter().rev().skip(1) {
+            write!(f, "{:09}", d)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+/// Error returned when parsing an [`Int`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError {
+    text: String,
+}
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseIntError { text: s.to_string() });
+        }
+        let ten = Int::from(10u32);
+        let mut value = Int::zero();
+        for b in digits.bytes() {
+            value = &value * &ten + Int::from((b - b'0') as u32);
+        }
+        if neg {
+            value = -value;
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(int(2) + int(3), int(5));
+        assert_eq!(int(2) - int(3), int(-1));
+        assert_eq!(int(-7) * int(6), int(-42));
+        assert_eq!(int(0) + int(0), Int::zero());
+        assert_eq!(int(5) + int(-5), Int::zero());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for v in [0i128, 1, -1, 42, -100000, i64::MAX as i128, i64::MIN as i128] {
+            let i = int(v);
+            assert_eq!(i.to_string(), v.to_string());
+            assert_eq!(i.to_string().parse::<Int>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn large_multiplication() {
+        let a: Int = "123456789012345678901234567890".parse().unwrap();
+        let b: Int = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+    }
+
+    #[test]
+    fn division_identities() {
+        let a: Int = "340282366920938463463374607431768211456".parse().unwrap();
+        let b: Int = "18446744073709551617".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r.abs() < b.abs());
+    }
+
+    #[test]
+    fn signed_division() {
+        assert_eq!(int(7).div_rem(&int(2)), (int(3), int(1)));
+        assert_eq!(int(-7).div_rem(&int(2)), (int(-3), int(-1)));
+        assert_eq!(int(7).div_rem(&int(-2)), (int(-3), int(1)));
+        assert_eq!(int(-7).div_rem(&int(-2)), (int(3), int(-1)));
+        assert_eq!(int(-7).div_floor(&int(2)), int(-4));
+        assert_eq!(int(7).div_floor(&int(2)), int(3));
+        assert_eq!(int(-7).div_ceil(&int(2)), int(-3));
+        assert_eq!(int(7).div_ceil(&int(2)), int(4));
+        assert_eq!(int(-7).rem_euclid(&int(3)), int(2));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(int(12).gcd(&int(18)), int(6));
+        assert_eq!(int(-12).gcd(&int(18)), int(6));
+        assert_eq!(int(0).gcd(&int(5)), int(5));
+        assert_eq!(int(4).lcm(&int(6)), int(12));
+        assert_eq!(int(0).lcm(&int(6)), int(0));
+    }
+
+    #[test]
+    fn pow_and_bitlen() {
+        assert_eq!(int(2).pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(int(0).bit_len(), 0);
+        assert_eq!(int(1).bit_len(), 1);
+        assert_eq!(int(255).bit_len(), 8);
+        assert_eq!(int(256).bit_len(), 9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(int(-5) < int(-4));
+        assert!(int(-1) < int(0));
+        assert!(int(0) < int(1));
+        let big: Int = "99999999999999999999999".parse().unwrap();
+        assert!(int(5) < big);
+        assert!(-big.clone() < int(5));
+        assert!(int(3).max(int(7)) == int(7));
+        assert!(int(3).min(int(7)) == int(3));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(int(i64::MAX as i128).to_i64(), Some(i64::MAX));
+        assert_eq!(int(i64::MIN as i128).to_i64(), Some(i64::MIN));
+        assert_eq!((int(i64::MAX as i128) + int(1)).to_i64(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn divide_by_zero_panics() {
+        let _ = int(5).div_rem(&Int::zero());
+    }
+}

@@ -1,0 +1,37 @@
+//! Exact arithmetic substrate for the ComPACT termination analyzer.
+//!
+//! This crate provides the numeric foundation used by every other crate in
+//! the workspace:
+//!
+//! * [`Int`] — arbitrary-precision signed integers;
+//! * [`Rat`] — exact rational numbers;
+//! * [`QVec`] / [`QMat`] — dense rational vectors and matrices with Gaussian
+//!   elimination (rank, solving, null spaces);
+//! * [`LinearProgram`] — an exact two-phase simplex LP solver over free
+//!   rational variables.
+//!
+//! The paper's implementation relies on GMP numerals inside Z3 and on an LP
+//! solver for ranking-function synthesis; this crate is the from-scratch
+//! replacement for both.
+//!
+//! # Examples
+//!
+//! ```
+//! use compact_arith::{Int, Rat};
+//! let big = Int::from(10u32).pow(30) + Int::one();
+//! assert_eq!(big.to_string(), "1000000000000000000000000000001");
+//! let half = Rat::new(Int::one(), Int::from(2));
+//! assert_eq!((&half + &half), Rat::one());
+//! ```
+
+#![warn(missing_docs)]
+
+mod int;
+mod linear;
+mod rat;
+mod simplex;
+
+pub use int::{Int, ParseIntError};
+pub use linear::{QMat, QVec};
+pub use rat::{ParseRatError, Rat};
+pub use simplex::{ConstraintOp, LinearConstraint, LinearProgram, LpResult};

@@ -1,0 +1,362 @@
+//! Dense exact-rational vectors, matrices and Gaussian elimination.
+//!
+//! These are the workhorses behind the affine-hull computation
+//! (`compact-polyhedra`) and Farkas-based ranking-function synthesis
+//! (`compact-analysis`).
+
+use crate::Rat;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense vector of rationals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct QVec {
+    entries: Vec<Rat>,
+}
+
+impl QVec {
+    /// Creates a zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> QVec {
+        QVec { entries: vec![Rat::zero(); dim] }
+    }
+
+    /// Creates a vector from its entries.
+    pub fn from_entries(entries: Vec<Rat>) -> QVec {
+        QVec { entries }
+    }
+
+    /// The dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.iter().all(Rat::is_zero)
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Rat> {
+        self.entries.iter()
+    }
+
+    /// The dot product of two vectors of equal dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &QVec) -> Rat {
+        assert_eq!(self.dim(), other.dim(), "dot product dimension mismatch");
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &QVec) -> QVec {
+        assert_eq!(self.dim(), other.dim());
+        QVec {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Component-wise difference.
+    pub fn sub(&self, other: &QVec) -> QVec {
+        assert_eq!(self.dim(), other.dim());
+        QVec {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scale(&self, k: &Rat) -> QVec {
+        QVec { entries: self.entries.iter().map(|a| a * k).collect() }
+    }
+
+    /// Consumes the vector and returns its entries.
+    pub fn into_entries(self) -> Vec<Rat> {
+        self.entries
+    }
+}
+
+impl Index<usize> for QVec {
+    type Output = Rat;
+    fn index(&self, i: usize) -> &Rat {
+        &self.entries[i]
+    }
+}
+
+impl IndexMut<usize> for QVec {
+    fn index_mut(&mut self, i: usize) -> &mut Rat {
+        &mut self.entries[i]
+    }
+}
+
+impl fmt::Display for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", e)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dense row-major matrix of rationals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rat>,
+}
+
+impl QMat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> QMat {
+        QMat { rows, cols, data: vec![Rat::zero(); rows * cols] }
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<Vec<Rat>>) -> QMat {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged matrix rows");
+            data.extend(r);
+        }
+        QMat { rows: nrows, cols: ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the entry at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> &Rat {
+        &self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: Rat) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a vector.
+    pub fn row(&self, r: usize) -> QVec {
+        QVec::from_entries(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// In-place reduction to reduced row echelon form; returns the pivot
+    /// columns (one per non-zero row, in order).
+    pub fn row_reduce(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row >= self.rows {
+                break;
+            }
+            // Find a row with a non-zero entry in this column.
+            let mut sel = None;
+            for r in pivot_row..self.rows {
+                if !self.get(r, col).is_zero() {
+                    sel = Some(r);
+                    break;
+                }
+            }
+            let Some(sel) = sel else { continue };
+            self.swap_rows(pivot_row, sel);
+            // Normalize the pivot row.
+            let inv = self.get(pivot_row, col).recip();
+            for c in col..self.cols {
+                let v = self.get(pivot_row, c) * &inv;
+                self.set(pivot_row, c, v);
+            }
+            // Eliminate the column from every other row.
+            for r in 0..self.rows {
+                if r == pivot_row || self.get(r, col).is_zero() {
+                    continue;
+                }
+                let factor = self.get(r, col).clone();
+                for c in col..self.cols {
+                    let v = self.get(r, c) - &(self.get(pivot_row, c) * &factor);
+                    self.set(r, c, v);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+
+    /// The rank of the matrix.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.row_reduce().len()
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Solves `A x = b`, returning one solution if the system is consistent.
+    pub fn solve(&self, b: &QVec) -> Option<QVec> {
+        assert_eq!(b.dim(), self.rows, "rhs dimension mismatch");
+        // Build the augmented matrix [A | b] and reduce.
+        let mut aug = QMat::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                aug.set(r, c, self.get(r, c).clone());
+            }
+            aug.set(r, self.cols, b[r].clone());
+        }
+        let pivots = aug.row_reduce();
+        // Inconsistent if a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = QVec::zeros(self.cols);
+        for (row, &col) in pivots.iter().enumerate() {
+            x[col] = aug.get(row, self.cols).clone();
+        }
+        Some(x)
+    }
+
+    /// Returns a basis of the null space `{x : A x = 0}`.
+    pub fn nullspace_basis(&self) -> Vec<QVec> {
+        let mut m = self.clone();
+        let pivots = m.row_reduce();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = QVec::zeros(self.cols);
+            v[free] = Rat::one();
+            for (row, &pc) in pivots.iter().enumerate() {
+                v[pc] = -(m.get(row, free).clone());
+            }
+            basis.push(v);
+        }
+        basis
+    }
+}
+
+impl fmt::Display for QMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            writeln!(f, "{}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    fn ri(n: i64) -> Rat {
+        Rat::from(n)
+    }
+
+    #[test]
+    fn dot_and_scale() {
+        let a = QVec::from_entries(vec![ri(1), ri(2), ri(3)]);
+        let b = QVec::from_entries(vec![ri(4), ri(5), ri(6)]);
+        assert_eq!(a.dot(&b), ri(32));
+        assert_eq!(a.scale(&r(1, 2))[1], ri(1));
+        assert!(QVec::zeros(3).is_zero());
+        assert!(!a.is_zero());
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn row_reduce_identity() {
+        let mut m = QMat::from_rows(vec![
+            vec![ri(2), ri(0)],
+            vec![ri(0), ri(3)],
+        ]);
+        let pivots = m.row_reduce();
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(*m.get(0, 0), ri(1));
+        assert_eq!(*m.get(1, 1), ri(1));
+    }
+
+    #[test]
+    fn solve_consistent() {
+        // x + y = 3, x - y = 1 => x = 2, y = 1
+        let a = QMat::from_rows(vec![
+            vec![ri(1), ri(1)],
+            vec![ri(1), ri(-1)],
+        ]);
+        let b = QVec::from_entries(vec![ri(3), ri(1)]);
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x[0], ri(2));
+        assert_eq!(x[1], ri(1));
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = QMat::from_rows(vec![
+            vec![ri(1), ri(1)],
+            vec![ri(2), ri(2)],
+        ]);
+        let b = QVec::from_entries(vec![ri(1), ri(3)]);
+        assert!(a.solve(&b).is_none());
+    }
+
+    #[test]
+    fn nullspace() {
+        // x + y + z = 0 has a 2-dimensional null space.
+        let a = QMat::from_rows(vec![vec![ri(1), ri(1), ri(1)]]);
+        let basis = a.nullspace_basis();
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            assert!(a.row(0).dot(v).is_zero());
+        }
+        assert_eq!(a.rank(), 1);
+    }
+
+    #[test]
+    fn rank_full_and_deficient() {
+        let full = QMat::from_rows(vec![vec![ri(1), ri(0)], vec![ri(0), ri(1)]]);
+        assert_eq!(full.rank(), 2);
+        let deficient = QMat::from_rows(vec![vec![ri(1), ri(2)], vec![ri(2), ri(4)]]);
+        assert_eq!(deficient.rank(), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! Exact rational numbers built on [`Int`].
+
+use crate::Int;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number with an [`Int`] numerator and positive
+/// denominator, kept in lowest terms.
+///
+/// # Examples
+///
+/// ```
+/// use compact_arith::Rat;
+/// let a = Rat::new(1.into(), 3.into());
+/// let b = Rat::new(1.into(), 6.into());
+/// assert_eq!((a + b), Rat::new(1.into(), 2.into()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: Int,
+    den: Int,
+}
+
+impl Rat {
+    /// Constructs a rational `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Rat {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Rat { num: Int::zero(), den: Int::one() };
+        }
+        let g = num.gcd(&den);
+        Rat { num: &num / &g, den: &den / &g }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> Rat {
+        Rat { num: Int::zero(), den: Int::one() }
+    }
+
+    /// The rational one.
+    pub fn one() -> Rat {
+        Rat { num: Int::one(), den: Int::one() }
+    }
+
+    /// Constructs a rational from an integer.
+    pub fn from_int(i: Int) -> Rat {
+        Rat { num: i, den: Int::one() }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// The sign as -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rational is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rat::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Floor: the greatest integer `<= self`.
+    pub fn floor(&self) -> Int {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Ceiling: the least integer `>= self`.
+    pub fn ceil(&self) -> Int {
+        self.num.div_ceil(&self.den)
+    }
+
+    /// Converts to `f64` (approximate; reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Returns the minimum of two rationals.
+    pub fn min(self, other: Rat) -> Rat {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the maximum of two rationals.
+    pub fn max(self, other: Rat) -> Rat {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<Int> for Rat {
+    fn from(i: Int) -> Rat {
+        Rat::from_int(i)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(i: i64) -> Rat {
+        Rat::from_int(Int::from(i))
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(i: i32) -> Rat {
+        Rat::from_int(Int::from(i))
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { num: -(&self.num), den: self.den.clone() }
+    }
+}
+
+impl Add<&Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, other: &Rat) -> Rat {
+        Rat::new(
+            &self.num * &other.den + &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub<&Rat> for &Rat {
+    type Output = Rat;
+    fn sub(self, other: &Rat) -> Rat {
+        Rat::new(
+            &self.num * &other.den - &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul<&Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, other: &Rat) -> Rat {
+        Rat::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div<&Rat> for &Rat {
+    type Output = Rat;
+    fn div(self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "division by zero rational");
+        Rat::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, other: &Rat) -> Rat {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, other: Rat) -> Rat {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add);
+forward_rat_binop!(Sub, sub);
+forward_rat_binop!(Mul, mul);
+forward_rat_binop!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, other: &Rat) {
+        *self = &*self + other;
+    }
+}
+
+impl AddAssign<Rat> for Rat {
+    fn add_assign(&mut self, other: Rat) {
+        *self = &*self + &other;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, other: &Rat) {
+        *self = &*self - other;
+    }
+}
+
+impl SubAssign<Rat> for Rat {
+    fn sub_assign(&mut self, other: Rat) {
+        *self = &*self - &other;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, other: &Rat) {
+        *self = &*self * other;
+    }
+}
+
+impl MulAssign<Rat> for Rat {
+    fn mul_assign(&mut self, other: Rat) {
+        *self = &*self * &other;
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+/// Error returned when parsing a [`Rat`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatError {
+    text: String,
+}
+
+impl fmt::Display for ParseRatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRatError {}
+
+impl FromStr for Rat {
+    type Err = ParseRatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRatError { text: s.to_string() };
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let n: Int = n.trim().parse().map_err(|_| err())?;
+                let d: Int = d.trim().parse().map_err(|_| err())?;
+                if d.is_zero() {
+                    return Err(err());
+                }
+                Ok(Rat::new(n, d))
+            }
+            None => {
+                let n: Int = s.trim().parse().map_err(|_| err())?;
+                Ok(Rat::from_int(n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i64, d: i64) -> Rat {
+        Rat::new(Int::from(n), Int::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(2, -4), rat(-1, 2));
+        assert_eq!(rat(0, 7), Rat::zero());
+        assert!(rat(2, -4).denom().is_positive());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(3, 4), rat(1, 2));
+        assert_eq!(rat(2, 3) / rat(4, 3), rat(1, 2));
+        assert_eq!(-rat(1, 2), rat(-1, 2));
+    }
+
+    #[test]
+    fn ordering_and_rounding() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert_eq!(rat(7, 2).floor(), Int::from(3));
+        assert_eq!(rat(7, 2).ceil(), Int::from(4));
+        assert_eq!(rat(-7, 2).floor(), Int::from(-4));
+        assert_eq!(rat(-7, 2).ceil(), Int::from(-3));
+        assert_eq!(rat(4, 2).floor(), Int::from(2));
+        assert_eq!(rat(4, 2).ceil(), Int::from(2));
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["1/2", "-3/4", "5", "-7", "0"] {
+            let r: Rat = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert!("1/0".parse::<Rat>().is_err());
+        assert!("x".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(rat(2, 3).recip(), rat(3, 2));
+        assert_eq!(rat(-2, 3).recip(), rat(-3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(Int::one(), Int::zero());
+    }
+}

@@ -1,0 +1,560 @@
+//! An exact two-phase simplex solver for linear programs over the rationals.
+//!
+//! Variables are *free* (unbounded in both directions); the solver handles
+//! the translation into standard form internally (splitting each free
+//! variable into a difference of non-negative variables, adding slack and
+//! artificial variables).  Bland's pivoting rule guarantees termination.
+//!
+//! The solver is used in three places in the workspace:
+//!
+//! * feasibility of conjunctions of linear constraints over the rationals,
+//!   as the relaxation step of the branch-and-bound LIA theory solver in
+//!   `compact-smt`;
+//! * optimization queries for branch-and-bound and for bound inference;
+//! * Farkas-lemma constraint systems in the ranking-function synthesis of
+//!   `compact-analysis`.
+
+use crate::Rat;
+use std::fmt;
+
+/// Comparison operator of a linear constraint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ConstraintOp {
+    /// `a·x <= b`
+    Le,
+    /// `a·x >= b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A linear constraint `a·x (op) b` over `num_vars` free variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinearConstraint {
+    /// Dense coefficient vector (length = number of LP variables).
+    pub coeffs: Vec<Rat>,
+    /// The comparison operator.
+    pub op: ConstraintOp,
+    /// The right-hand side constant.
+    pub rhs: Rat,
+}
+
+impl LinearConstraint {
+    /// Creates a new constraint.
+    pub fn new(coeffs: Vec<Rat>, op: ConstraintOp, rhs: Rat) -> LinearConstraint {
+        LinearConstraint { coeffs, op, rhs }
+    }
+
+    /// Evaluates the constraint at a point.
+    pub fn satisfied_by(&self, point: &[Rat]) -> bool {
+        let lhs: Rat = self
+            .coeffs
+            .iter()
+            .zip(point.iter())
+            .map(|(a, x)| a * x)
+            .sum();
+        match self.op {
+            ConstraintOp::Le => lhs <= self.rhs,
+            ConstraintOp::Ge => lhs >= self.rhs,
+            ConstraintOp::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+impl fmt::Display for LinearConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}*x{}", c, i)?;
+        }
+        let op = match self.op {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        };
+        write!(f, " {} {}", op, self.rhs)
+    }
+}
+
+/// The result of solving a linear program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LpResult {
+    /// The constraint system has no solution.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// An optimal solution was found.
+    Optimal {
+        /// The optimal objective value.
+        value: Rat,
+        /// A point attaining the optimum (one entry per LP variable).
+        point: Vec<Rat>,
+    },
+}
+
+impl LpResult {
+    /// Returns the optimal point, if any.
+    pub fn point(&self) -> Option<&[Rat]> {
+        match self {
+            LpResult::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+
+    /// Returns the optimal value, if any.
+    pub fn value(&self) -> Option<&Rat> {
+        match self {
+            LpResult::Optimal { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// A linear program over free rational variables.
+///
+/// # Examples
+///
+/// ```
+/// use compact_arith::{LinearProgram, ConstraintOp, Rat, LpResult};
+/// // maximize x + y subject to x <= 2, y <= 3.
+/// let mut lp = LinearProgram::new(2);
+/// lp.add_constraint(vec![Rat::one(), Rat::zero()], ConstraintOp::Le, Rat::from(2));
+/// lp.add_constraint(vec![Rat::zero(), Rat::one()], ConstraintOp::Le, Rat::from(3));
+/// match lp.maximize(&[Rat::one(), Rat::one()]) {
+///     LpResult::Optimal { value, .. } => assert_eq!(value, Rat::from(5)),
+///     other => panic!("unexpected {:?}", other),
+/// }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    num_vars: usize,
+    constraints: Vec<LinearConstraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty linear program with `num_vars` free variables.
+    pub fn new(num_vars: usize) -> LinearProgram {
+        LinearProgram { num_vars, constraints: Vec::new() }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Adds the constraint `coeffs · x (op) rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the number of variables.
+    pub fn add_constraint(&mut self, coeffs: Vec<Rat>, op: ConstraintOp, rhs: Rat) {
+        assert_eq!(coeffs.len(), self.num_vars, "constraint arity mismatch");
+        self.constraints.push(LinearConstraint::new(coeffs, op, rhs));
+    }
+
+    /// Maximizes `objective · x` over the feasible region.
+    pub fn maximize(&self, objective: &[Rat]) -> LpResult {
+        assert_eq!(objective.len(), self.num_vars, "objective arity mismatch");
+        Tableau::solve(self, objective, true)
+    }
+
+    /// Minimizes `objective · x` over the feasible region.
+    pub fn minimize(&self, objective: &[Rat]) -> LpResult {
+        assert_eq!(objective.len(), self.num_vars, "objective arity mismatch");
+        match Tableau::solve(self, &objective.iter().map(|c| -c).collect::<Vec<_>>(), true) {
+            LpResult::Optimal { value, point } => LpResult::Optimal { value: -value, point },
+            other => other,
+        }
+    }
+
+    /// Returns `true` if the constraint system has a rational solution.
+    pub fn is_feasible(&self) -> bool {
+        self.find_point().is_some()
+    }
+
+    /// Returns a rational point satisfying all constraints, if one exists.
+    pub fn find_point(&self) -> Option<Vec<Rat>> {
+        let zero_obj = vec![Rat::zero(); self.num_vars];
+        match Tableau::solve(self, &zero_obj, true) {
+            LpResult::Optimal { point, .. } => Some(point),
+            LpResult::Unbounded => unreachable!("zero objective cannot be unbounded"),
+            LpResult::Infeasible => None,
+        }
+    }
+}
+
+/// Internal simplex tableau.
+struct Tableau {
+    /// `rows[i]` has length `ncols + 1`; the last entry is the rhs.
+    rows: Vec<Vec<Rat>>,
+    /// Reduced-cost row (length `ncols`).
+    obj: Vec<Rat>,
+    /// Basic variable (column index) for each row.
+    basis: Vec<usize>,
+    ncols: usize,
+    /// First artificial column index (artificials occupy `[art_start, ncols)`).
+    art_start: usize,
+    /// Number of original LP variables.
+    num_vars: usize,
+}
+
+impl Tableau {
+    fn solve(lp: &LinearProgram, objective: &[Rat], _maximize: bool) -> LpResult {
+        let n = lp.num_vars;
+        let m = lp.constraints.len();
+        // Column layout: [pos_0, neg_0, ..., pos_{n-1}, neg_{n-1} | slacks | artificials]
+        let num_struct = 2 * n;
+        let num_slack = lp
+            .constraints
+            .iter()
+            .filter(|c| c.op != ConstraintOp::Eq)
+            .count();
+        let art_start = num_struct + num_slack;
+        // One artificial per row keeps the construction simple.
+        let ncols = art_start + m;
+
+        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        let mut slack_idx = num_struct;
+        for (i, c) in lp.constraints.iter().enumerate() {
+            let mut row = vec![Rat::zero(); ncols + 1];
+            let flip = c.rhs.is_negative();
+            let sign = if flip { Rat::from(-1) } else { Rat::one() };
+            for (j, a) in c.coeffs.iter().enumerate() {
+                let v = a * &sign;
+                row[2 * j] = v.clone();
+                row[2 * j + 1] = -v;
+            }
+            row[ncols] = &c.rhs * &sign;
+            let op = if flip {
+                match c.op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                }
+            } else {
+                c.op
+            };
+            match op {
+                ConstraintOp::Le => {
+                    row[slack_idx] = Rat::one();
+                    // Slack can serve as the initial basic variable.
+                    basis.push(slack_idx);
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    row[slack_idx] = Rat::from(-1);
+                    slack_idx += 1;
+                    row[art_start + i] = Rat::one();
+                    basis.push(art_start + i);
+                }
+                ConstraintOp::Eq => {
+                    row[art_start + i] = Rat::one();
+                    basis.push(art_start + i);
+                }
+            }
+            rows.push(row);
+        }
+
+        let mut t = Tableau {
+            rows,
+            obj: vec![Rat::zero(); ncols],
+            basis,
+            ncols,
+            art_start,
+            num_vars: n,
+        };
+
+        // Phase 1: maximize -(sum of artificials).
+        let needs_phase1 = t.basis.iter().any(|&b| b >= t.art_start);
+        if needs_phase1 {
+            for j in t.art_start..t.ncols {
+                t.obj[j] = Rat::from(-1);
+            }
+            t.canonicalize_objective();
+            t.run_simplex(t.ncols);
+            let value = t.objective_value_of(&phase1_cost(t.art_start, t.ncols));
+            if value.is_negative() {
+                return LpResult::Infeasible;
+            }
+            t.drive_out_artificials();
+        }
+
+        // Phase 2: the real objective (artificial columns excluded from entering).
+        t.obj = vec![Rat::zero(); t.ncols];
+        for j in 0..n {
+            t.obj[2 * j] = objective[j].clone();
+            t.obj[2 * j + 1] = -(&objective[j]);
+        }
+        t.canonicalize_objective();
+        if !t.run_simplex(t.art_start) {
+            return LpResult::Unbounded;
+        }
+
+        let point = t.extract_point();
+        let value: Rat = objective
+            .iter()
+            .zip(point.iter())
+            .map(|(c, x)| c * x)
+            .sum();
+        LpResult::Optimal { value, point }
+    }
+
+    /// Zeroes the reduced cost of every basic column by row operations.
+    fn canonicalize_objective(&mut self) {
+        for (r, &b) in self.basis.clone().iter().enumerate() {
+            if self.obj[b].is_zero() {
+                continue;
+            }
+            let factor = self.obj[b].clone();
+            for j in 0..self.ncols {
+                let v = &self.obj[j] - &(&self.rows[r][j] * &factor);
+                self.obj[j] = v;
+            }
+        }
+    }
+
+    /// Runs the simplex loop with Bland's rule, allowing entering columns
+    /// only below `col_limit`.  Returns `false` if unbounded.
+    fn run_simplex(&mut self, col_limit: usize) -> bool {
+        loop {
+            // Bland's rule: the lowest-index column with positive reduced cost.
+            let entering = (0..col_limit).find(|&j| self.obj[j].is_positive());
+            let Some(entering) = entering else { return true };
+            // Ratio test.
+            let mut leaving: Option<usize> = None;
+            let mut best: Option<Rat> = None;
+            for r in 0..self.rows.len() {
+                let a = &self.rows[r][entering];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = &self.rows[r][self.ncols] / a;
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        ratio < *b
+                            || (ratio == *b
+                                && self.basis[r] < self.basis[leaving.unwrap()])
+                    }
+                };
+                if better {
+                    best = Some(ratio);
+                    leaving = Some(r);
+                }
+            }
+            let Some(leaving) = leaving else { return false };
+            self.pivot(leaving, entering);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col].clone();
+        debug_assert!(!pivot.is_zero());
+        let inv = pivot.recip();
+        for j in 0..=self.ncols {
+            let v = &self.rows[row][j] * &inv;
+            self.rows[row][j] = v;
+        }
+        for r in 0..self.rows.len() {
+            if r == row || self.rows[r][col].is_zero() {
+                continue;
+            }
+            let factor = self.rows[r][col].clone();
+            for j in 0..=self.ncols {
+                let v = &self.rows[r][j] - &(&self.rows[row][j] * &factor);
+                self.rows[r][j] = v;
+            }
+        }
+        if !self.obj[col].is_zero() {
+            let factor = self.obj[col].clone();
+            for j in 0..self.ncols {
+                let v = &self.obj[j] - &(&self.rows[row][j] * &factor);
+                self.obj[j] = v;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot any artificial variables out of the basis (their
+    /// value is zero).  Rows that cannot be pivoted are redundant and dropped.
+    fn drive_out_artificials(&mut self) {
+        let mut r = 0;
+        while r < self.rows.len() {
+            if self.basis[r] < self.art_start {
+                r += 1;
+                continue;
+            }
+            // Find a non-artificial column with a non-zero entry.
+            let col = (0..self.art_start).find(|&j| !self.rows[r][j].is_zero());
+            match col {
+                Some(col) => {
+                    self.pivot(r, col);
+                    r += 1;
+                }
+                None => {
+                    // Redundant row: remove it.
+                    self.rows.remove(r);
+                    self.basis.remove(r);
+                }
+            }
+        }
+    }
+
+    fn objective_value_of(&self, cost: &[Rat]) -> Rat {
+        let mut value = Rat::zero();
+        for (r, &b) in self.basis.iter().enumerate() {
+            value += &cost[b] * &self.rows[r][self.ncols];
+        }
+        value
+    }
+
+    fn extract_point(&self) -> Vec<Rat> {
+        let mut cols = vec![Rat::zero(); self.ncols];
+        for (r, &b) in self.basis.iter().enumerate() {
+            cols[b] = self.rows[r][self.ncols].clone();
+        }
+        (0..self.num_vars)
+            .map(|j| &cols[2 * j] - &cols[2 * j + 1])
+            .collect()
+    }
+}
+
+fn phase1_cost(art_start: usize, ncols: usize) -> Vec<Rat> {
+    let mut cost = vec![Rat::zero(); ncols];
+    for c in cost.iter_mut().take(ncols).skip(art_start) {
+        *c = Rat::from(-1);
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(n: i64) -> Rat {
+        Rat::from(n)
+    }
+
+    fn rq(n: i64, d: i64) -> Rat {
+        Rat::new(n.into(), d.into())
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y free but
+        // implicitly bounded by x <= 4, y <= 2 through constraints plus
+        // x >= 0, y >= 0 added explicitly.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![ri(1), ri(1)], ConstraintOp::Le, ri(4));
+        lp.add_constraint(vec![ri(1), ri(3)], ConstraintOp::Le, ri(6));
+        lp.add_constraint(vec![ri(1), ri(0)], ConstraintOp::Ge, ri(0));
+        lp.add_constraint(vec![ri(0), ri(1)], ConstraintOp::Ge, ri(0));
+        match lp.maximize(&[ri(3), ri(2)]) {
+            LpResult::Optimal { value, point } => {
+                assert_eq!(value, ri(12));
+                assert_eq!(point, vec![ri(4), ri(0)]);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn infeasible_system() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![ri(1)], ConstraintOp::Ge, ri(5));
+        lp.add_constraint(vec![ri(1)], ConstraintOp::Le, ri(3));
+        assert_eq!(lp.maximize(&[ri(1)]), LpResult::Infeasible);
+        assert!(!lp.is_feasible());
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![ri(1)], ConstraintOp::Ge, ri(0));
+        assert_eq!(lp.maximize(&[ri(1)]), LpResult::Unbounded);
+        // But minimization is bounded.
+        match lp.minimize(&[ri(1)]) {
+            LpResult::Optimal { value, .. } => assert_eq!(value, ri(0)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // x + y = 10, x - y = 4 => x = 7, y = 3.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![ri(1), ri(1)], ConstraintOp::Eq, ri(10));
+        lp.add_constraint(vec![ri(1), ri(-1)], ConstraintOp::Eq, ri(4));
+        let p = lp.find_point().unwrap();
+        assert_eq!(p, vec![ri(7), ri(3)]);
+    }
+
+    #[test]
+    fn negative_rhs_and_free_vars() {
+        // x <= -5 is satisfiable for a free variable.
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![ri(1)], ConstraintOp::Le, ri(-5));
+        let p = lp.find_point().unwrap();
+        assert!(p[0] <= ri(-5));
+        match lp.maximize(&[ri(1)]) {
+            LpResult::Optimal { value, .. } => assert_eq!(value, ri(-5)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // maximize y s.t. 2y <= 1, y >= 0 => 1/2.
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![ri(2)], ConstraintOp::Le, ri(1));
+        lp.add_constraint(vec![ri(1)], ConstraintOp::Ge, ri(0));
+        match lp.maximize(&[ri(1)]) {
+            LpResult::Optimal { value, .. } => assert_eq!(value, rq(1, 2)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // Same constraint twice (exercises drive_out_artificials removing rows).
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![ri(1), ri(1)], ConstraintOp::Eq, ri(2));
+        lp.add_constraint(vec![ri(2), ri(2)], ConstraintOp::Eq, ri(4));
+        assert!(lp.is_feasible());
+        match lp.maximize(&[ri(1), ri(0)]) {
+            // x is unbounded above along the line x + y = 2? No: x can grow
+            // while y shrinks, so it is unbounded.
+            LpResult::Unbounded => {}
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn constraint_satisfaction_check() {
+        let c = LinearConstraint::new(vec![ri(1), ri(-1)], ConstraintOp::Ge, ri(0));
+        assert!(c.satisfied_by(&[ri(3), ri(2)]));
+        assert!(!c.satisfied_by(&[ri(1), ri(2)]));
+        let point = vec![ri(2), ri(2)];
+        assert!(c.satisfied_by(&point));
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        let mut lp = LinearProgram::new(3);
+        lp.add_constraint(vec![ri(1), ri(2), ri(-1)], ConstraintOp::Le, ri(7));
+        lp.add_constraint(vec![ri(-3), ri(1), ri(2)], ConstraintOp::Ge, ri(-4));
+        lp.add_constraint(vec![ri(1), ri(1), ri(1)], ConstraintOp::Eq, ri(5));
+        let p = lp.find_point().unwrap();
+        for c in lp.constraints() {
+            assert!(c.satisfied_by(&p), "violated: {}", c);
+        }
+    }
+}

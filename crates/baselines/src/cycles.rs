@@ -1,0 +1,130 @@
+//! Loop and cycle discovery on control flow graphs, shared by the baselines.
+
+use compact_graph::{DiGraph, DominatorTree, EdgeId, NodeId};
+
+/// The loop headers of a rooted CFG: targets of back edges (edges whose
+/// target dominates their source).
+pub fn loop_headers(graph: &DiGraph, root: NodeId) -> Vec<NodeId> {
+    let dom = DominatorTree::compute(graph, root);
+    let mut headers = Vec::new();
+    for (_, e) in graph.edges() {
+        if dom.is_reachable(e.src) && dom.dominates(e.dst, e.src) && !headers.contains(&e.dst) {
+            headers.push(e.dst);
+        }
+    }
+    headers
+}
+
+/// Enumerates the simple cycles (as edge sequences) that pass through
+/// `header` and visit no vertex twice, up to `limit` cycles.  Returns `None`
+/// if the limit is exceeded.
+pub fn simple_cycles_through(
+    graph: &DiGraph,
+    header: NodeId,
+    limit: usize,
+) -> Option<Vec<Vec<EdgeId>>> {
+    let mut cycles = Vec::new();
+    let mut path: Vec<EdgeId> = Vec::new();
+    let mut visited = vec![false; graph.num_nodes()];
+    if !dfs(graph, header, header, &mut visited, &mut path, &mut cycles, limit) {
+        return None;
+    }
+    Some(cycles)
+}
+
+fn dfs(
+    graph: &DiGraph,
+    current: NodeId,
+    header: NodeId,
+    visited: &mut Vec<bool>,
+    path: &mut Vec<EdgeId>,
+    cycles: &mut Vec<Vec<EdgeId>>,
+    limit: usize,
+) -> bool {
+    for (edge, next) in graph.successors(current) {
+        if next == header {
+            if cycles.len() >= limit {
+                return false;
+            }
+            let mut cycle = path.clone();
+            cycle.push(edge);
+            cycles.push(cycle);
+            continue;
+        }
+        if visited[next] {
+            continue;
+        }
+        visited[next] = true;
+        path.push(edge);
+        let ok = dfs(graph, next, header, visited, path, cycles, limit);
+        path.pop();
+        visited[next] = false;
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_of_a_simple_loop() {
+        // 0 -> 1 -> 2 -> 1, 1 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        assert_eq!(loop_headers(&g, 0), vec![1]);
+    }
+
+    #[test]
+    fn headers_of_nested_loops() {
+        // outer header 1, inner header 2.
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2); // inner back edge
+        g.add_edge(2, 1); // outer back edge
+        g.add_edge(1, 4);
+        let mut headers = loop_headers(&g, 0);
+        headers.sort();
+        assert_eq!(headers, vec![1, 2]);
+    }
+
+    #[test]
+    fn simple_cycles_of_a_diamond_loop() {
+        // Header 1 with two ways around: 1->2->1 and 1->3->1.
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        g.add_edge(3, 1);
+        let cycles = simple_cycles_through(&g, 1, 10).unwrap();
+        assert_eq!(cycles.len(), 2);
+        for c in &cycles {
+            assert_eq!(c.len(), 2);
+        }
+    }
+
+    #[test]
+    fn cycle_limit_is_respected() {
+        // A dense graph with many cycles through node 0... build a small
+        // complete-ish graph.
+        let mut g = DiGraph::with_nodes(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        assert!(simple_cycles_through(&g, 0, 3).is_none());
+        assert!(simple_cycles_through(&g, 0, 1000).is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! Baseline termination analyzers used in the evaluation (§7).
+//!
+//! The paper compares ComPACT against four external tools (Ultimate
+//! Automizer, 2LS, CPAchecker, Termite).  Those tools cannot be rebuilt
+//! here; instead this crate implements the two analysis *techniques* the
+//! paper positions itself against, so the evaluation harness can reproduce
+//! the qualitative shape of Table 1 and Figure 5:
+//!
+//! * [`TermiteStyle`] — monolithic complete ranking-function synthesis: each
+//!   loop is analyzed in isolation by synthesizing a linear (lexicographic)
+//!   ranking function for its one-iteration relation.  Like Termite it does
+//!   not summarize nested loops and does not handle recursion, so it gives
+//!   up on such programs.
+//! * [`TerminatorStyle`] — disjunctive well-foundedness in the style of
+//!   Terminator/Ultimate: every simple cycle of a loop gets its own ranking
+//!   relation, and the set of cycle relations must be closed under
+//!   composition (a sound transition-invariant check à la
+//!   Podelski–Rybalchenko).  Unlike the real tools there is no refinement
+//!   loop: when the closure check fails the baseline reports "unknown", and
+//!   the closure check itself is quadratic in the number of cycles — which is
+//!   the cost profile Figure 5 contrasts against.
+//!
+//! Both baselines are *sound*: they report "terminating" only when the
+//! program indeed terminates from every state.
+
+#![warn(missing_docs)]
+
+mod cycles;
+mod terminator;
+mod termite;
+
+pub use cycles::{loop_headers, simple_cycles_through};
+pub use terminator::TerminatorStyle;
+pub use termite::TermiteStyle;
+
+use std::time::Duration;
+
+/// The verdict of a baseline analyzer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BaselineVerdict {
+    /// Termination proved for every initial state.
+    Terminating,
+    /// The analyzer could not prove termination.
+    Unknown,
+}
+
+/// The result of running a baseline analyzer on a program.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// The verdict.
+    pub verdict: BaselineVerdict,
+    /// Wall-clock analysis time.
+    pub analysis_time: Duration,
+    /// The name of the baseline.
+    pub tool: String,
+}
+
+impl BaselineReport {
+    /// Returns `true` if the baseline proved termination.
+    pub fn proved_termination(&self) -> bool {
+        self.verdict == BaselineVerdict::Terminating
+    }
+}

@@ -1,0 +1,174 @@
+//! The Termite-style baseline: monolithic complete ranking-function
+//! synthesis per loop, without compositional summarization.
+
+use crate::cycles::{loop_headers, simple_cycles_through};
+use crate::{BaselineReport, BaselineVerdict};
+use compact_analysis::synthesize_llrf;
+use compact_graph::EdgeId;
+use compact_lang::{EdgeLabel, Procedure, Program};
+use compact_smt::Solver;
+use compact_tf::TransitionFormula;
+use std::time::Instant;
+
+/// A baseline in the style of Termite (Gonnord et al.): for every loop
+/// header, the one-iteration relation is built as the union of the simple
+/// cycle paths through the header, and a linear (lexicographic) ranking
+/// function is synthesized for it.
+///
+/// Limitations that mirror the real tool's behaviour in Table 1:
+///
+/// * loops containing *nested* loop headers are rejected (the one-iteration
+///   relation of the outer loop cannot be expressed without summarization);
+/// * recursion is not supported;
+/// * no conditional termination: the verdict is all-or-nothing.
+pub struct TermiteStyle {
+    /// Maximum number of simple cycles per header before giving up.
+    pub cycle_limit: usize,
+    /// Use lexicographic (rather than plain linear) ranking functions.
+    pub lexicographic: bool,
+}
+
+impl TermiteStyle {
+    /// Creates the baseline with its default settings.
+    pub fn new() -> TermiteStyle {
+        TermiteStyle { cycle_limit: 64, lexicographic: true }
+    }
+
+    /// Analyzes a program.
+    pub fn analyze(&self, program: &Program) -> BaselineReport {
+        let start = Instant::now();
+        let verdict = self.analyze_verdict(program);
+        BaselineReport {
+            verdict,
+            analysis_time: start.elapsed(),
+            tool: "termite-style".to_string(),
+        }
+    }
+
+    fn analyze_verdict(&self, program: &Program) -> BaselineVerdict {
+        if program.has_calls() {
+            return BaselineVerdict::Unknown;
+        }
+        let solver = Solver::new();
+        let main = program.entry_procedure();
+        let headers = loop_headers(&main.graph, main.entry);
+        for &header in &headers {
+            // Reject nested loops: a simple cycle through this header that
+            // contains another header means the loop nest is not flat.
+            let Some(cycles) = simple_cycles_through(&main.graph, header, self.cycle_limit)
+            else {
+                return BaselineVerdict::Unknown;
+            };
+            let mut nested = false;
+            for cycle in &cycles {
+                for &edge in cycle {
+                    let dst = main.graph.edge(edge).dst;
+                    if dst != header && headers.contains(&dst) {
+                        nested = true;
+                    }
+                }
+            }
+            if nested {
+                return BaselineVerdict::Unknown;
+            }
+            // One-iteration relation: union of the cycle path relations.
+            let Some(relation) = cycle_union(&solver, program, main, &cycles) else {
+                return BaselineVerdict::Unknown;
+            };
+            let max_components = if self.lexicographic { 8 } else { 1 };
+            if !synthesize_llrf(&solver, &relation, max_components).is_found() {
+                return BaselineVerdict::Unknown;
+            }
+        }
+        BaselineVerdict::Terminating
+    }
+}
+
+impl Default for TermiteStyle {
+    fn default() -> Self {
+        TermiteStyle::new()
+    }
+}
+
+/// Builds the union of the relations of the given cycle paths.
+pub(crate) fn cycle_union(
+    solver: &Solver,
+    program: &Program,
+    procedure: &Procedure,
+    cycles: &[Vec<EdgeId>],
+) -> Option<TransitionFormula> {
+    let mut union: Option<TransitionFormula> = None;
+    for cycle in cycles {
+        let relation = cycle_relation(program, procedure, cycle)?;
+        if relation.is_empty(solver) {
+            continue;
+        }
+        union = Some(match union {
+            None => relation,
+            Some(acc) => acc.or(&relation),
+        });
+    }
+    Some(union.unwrap_or_else(|| TransitionFormula::bottom(&program.vars)))
+}
+
+/// The composed relation of one cycle path (fails on call edges).
+pub(crate) fn cycle_relation(
+    program: &Program,
+    procedure: &Procedure,
+    cycle: &[EdgeId],
+) -> Option<TransitionFormula> {
+    let mut relation = TransitionFormula::identity(&program.vars);
+    for &edge in cycle {
+        match procedure.label(edge) {
+            EdgeLabel::Transition(t) => {
+                relation = relation.compose(&t.extend_footprint(&program.vars));
+            }
+            EdgeLabel::Call(_) => return None,
+        }
+    }
+    Some(relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_lang::compile;
+
+    fn run(source: &str) -> BaselineReport {
+        TermiteStyle::new().analyze(&compile(source).unwrap())
+    }
+
+    #[test]
+    fn proves_simple_counting_loop() {
+        let report = run("proc main() { while (x > 0) { x := x - 1; } }");
+        assert!(report.proved_termination());
+    }
+
+    #[test]
+    fn proves_multipath_loop() {
+        let report = run(
+            "proc main() { while (x > 0 && y > 0) { if (*) { x := x - 1; } else { y := y - 1; } } }",
+        );
+        assert!(report.proved_termination());
+    }
+
+    #[test]
+    fn gives_up_on_nested_loops() {
+        let report = run(
+            "proc main() { i := 0; while (i < 10) { j := 0; while (j < 10) { j := j + 1; } i := i + 1; } }",
+        );
+        assert!(!report.proved_termination());
+    }
+
+    #[test]
+    fn gives_up_on_recursion() {
+        let report = run("proc main() { call main(); }");
+        assert!(!report.proved_termination());
+    }
+
+    #[test]
+    fn does_not_prove_divergent_loops() {
+        let report = run("proc main() { while (x > 0) { x := x + 1; } }");
+        assert!(!report.proved_termination());
+    }
+}

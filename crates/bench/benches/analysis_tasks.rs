@@ -1,0 +1,59 @@
+//! End-to-end benchmarks: whole-task analysis time for one representative
+//! task per suite (the per-task measurements behind Table 1 / Figure 5), the
+//! §7 nested-loop anecdote, and the ablation configurations of Table 2 on a
+//! fixed task.
+
+use compact_analysis::{Analyzer, AnalyzerConfig};
+use compact_lang::compile;
+use compact_suites::{nested_counting_loops, suite_tasks, Suite};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_representative_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_task");
+    group.sample_size(10);
+    for suite in [Suite::Termination, Suite::Polybench] {
+        let task = suite_tasks(suite).into_iter().next().expect("non-empty suite");
+        let program = task.program();
+        group.bench_function(format!("{}::{}", suite.name(), task.name), |b| {
+            b.iter(|| {
+                let analyzer = Analyzer::with_default_config();
+                analyzer.analyze_program(&program)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nested_anecdote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_anecdote");
+    group.sample_size(10);
+    let program = compile(&nested_counting_loops(2, 4096)).unwrap();
+    group.bench_function("nested_4096", |b| {
+        b.iter(|| {
+            let analyzer = Analyzer::with_default_config();
+            analyzer.analyze_program(&program)
+        });
+    });
+    group.finish();
+}
+
+fn bench_ablation_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let program = compile("proc main() { while (x > 0) { x := x + y; y := y - 1; } }").unwrap();
+    for (name, config) in [
+        ("llrf_only", AnalyzerConfig::llrf_only()),
+        ("default", AnalyzerConfig::compact_default()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let analyzer = Analyzer::new(config.clone());
+                analyzer.analyze_program(&program)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representative_tasks, bench_nested_anecdote, bench_ablation_configs);
+criterion_main!(benches);

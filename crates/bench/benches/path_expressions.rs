@@ -1,0 +1,65 @@
+//! Benchmarks the ω-path-expression algorithm (Algorithm 2) on control flow
+//! graphs of increasing size, supporting the complexity claim of §4.
+
+use compact_graph::{omega_path_expression, DiGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a chain of `n` consecutive simple loops.
+fn loop_chain(n: usize) -> DiGraph {
+    let mut g = DiGraph::new();
+    let entry = g.add_node();
+    let mut cur = entry;
+    for _ in 0..n {
+        let head = g.add_node();
+        let body = g.add_node();
+        let after = g.add_node();
+        g.add_edge(cur, head);
+        g.add_edge(head, body);
+        g.add_edge(body, head);
+        g.add_edge(head, after);
+        cur = after;
+    }
+    g
+}
+
+/// Builds a nest of `n` loops.
+fn loop_nest(n: usize) -> DiGraph {
+    let mut g = DiGraph::new();
+    let entry = g.add_node();
+    let mut heads = Vec::new();
+    let mut cur = entry;
+    for _ in 0..n {
+        let head = g.add_node();
+        g.add_edge(cur, head);
+        heads.push(head);
+        cur = head;
+    }
+    // innermost body and back edges
+    let body = g.add_node();
+    g.add_edge(cur, body);
+    let mut back_src = body;
+    for &head in heads.iter().rev() {
+        g.add_edge(back_src, head);
+        back_src = head;
+    }
+    g
+}
+
+fn bench_path_expressions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_path_expression");
+    group.sample_size(20);
+    for n in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("loop_chain", n), &n, |b, &n| {
+            let g = loop_chain(n);
+            b.iter(|| omega_path_expression(&g, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("loop_nest", n.min(64)), &n, |b, &n| {
+            let g = loop_nest(n.min(64));
+            b.iter(|| omega_path_expression(&g, 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_expressions);
+criterion_main!(benches);

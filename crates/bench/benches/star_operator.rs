@@ -1,0 +1,46 @@
+//! Benchmarks the `(-)★` operator (§3.3) and the `mpexp` / `mpLLRF`
+//! operators (§6) on representative loop bodies.
+
+use compact_analysis::{MpExp, MpLlrf};
+use compact_logic::{parse_formula, Symbol};
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, TransitionFormula};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+    let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+    TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+}
+
+fn bench_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_formula");
+    group.sample_size(10);
+    let inner = tf(
+        "m < step && n >= 0 && m' = m + 1 && n' = n - 1 && step' = step",
+        &["m", "n", "step"],
+    );
+    group.bench_function("star_figure1_inner", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            inner.star(&solver)
+        });
+    });
+    let countdown = tf("x > 0 && x' = x - 1", &["x"]);
+    group.bench_function("mp_llrf_countdown", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            MpLlrf::new().mortal_precondition(&solver, &countdown)
+        });
+    });
+    let even = tf("x != 0 && x' = x - 2", &["x"]);
+    group.bench_function("mp_exp_even_countdown", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            MpExp::new().mortal_precondition(&solver, &even)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_star);
+criterion_main!(benches);

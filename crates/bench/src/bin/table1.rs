@@ -1,0 +1,52 @@
+//! Regenerates Table 1 of the paper: per-suite `#correct` and total time for
+//! ComPACT and the baseline tools.
+//!
+//! Usage: `cargo run -p compact-bench --bin table1 [-- --timeout <secs>]`
+
+use compact_bench::{run_suite, seconds, timeout_from_args, Tool};
+use compact_suites::Suite;
+
+fn main() {
+    let timeout = timeout_from_args(30);
+    let tools = vec![
+        Tool::Compact(compact_analysis::AnalyzerConfig::compact_default()),
+        Tool::Terminator,
+        Tool::Termite,
+    ];
+    println!("Table 1: termination verification benchmarks (time in seconds)");
+    println!("timeout per task: {}s\n", timeout.as_secs());
+    print!("{:<16} {:>7}", "benchmark", "#tasks");
+    for tool in &tools {
+        print!(" | {:>28}", tool.name());
+    }
+    println!();
+    print!("{:<16} {:>7}", "", "");
+    for _ in &tools {
+        print!(" | {:>14} {:>13}", "#correct", "time");
+    }
+    println!();
+    let mut totals = vec![(0usize, std::time::Duration::ZERO); tools.len()];
+    let mut total_tasks = 0usize;
+    for suite in Suite::all() {
+        let mut row = format!("{:<16}", suite.name());
+        let mut task_count = 0;
+        for (i, tool) in tools.iter().enumerate() {
+            let (summary, _) = run_suite(tool, suite, timeout);
+            task_count = summary.tasks;
+            totals[i].0 += summary.correct;
+            totals[i].1 += summary.total_time;
+            row.push_str(&format!(
+                " | {:>14} {:>13}",
+                summary.correct,
+                seconds(summary.total_time)
+            ));
+        }
+        total_tasks += task_count;
+        println!("{:<16} {:>7}{}", suite.name(), task_count, &row[16..]);
+    }
+    print!("{:<16} {:>7}", "Total", total_tasks);
+    for (correct, time) in &totals {
+        print!(" | {:>14} {:>13}", correct, seconds(*time));
+    }
+    println!();
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table 2 of the paper: the contribution of each component of
+//! ComPACT (LLRF / exp base operators, with and without phase analysis).
+//!
+//! Usage: `cargo run -p compact-bench --bin table2 [-- --timeout <secs>] [-- --linear-only]`
+
+use compact_bench::{run_suite, seconds, table2_configurations, timeout_from_args, Tool};
+use compact_suites::Suite;
+
+fn main() {
+    let timeout = timeout_from_args(30);
+    let linear_only = std::env::args().any(|a| a == "--linear-only");
+    let mut configurations = table2_configurations();
+    if linear_only {
+        // Footnote 3: restrict the ranking operator to plain linear ranking
+        // functions.
+        configurations = vec![
+            (
+                "LRF only".to_string(),
+                compact_analysis::AnalyzerConfig {
+                    ranking: compact_analysis::RankingChoice::LinearOnly,
+                    use_exp: false,
+                    use_phase: false,
+                },
+            ),
+            (
+                "LRF + phase".to_string(),
+                compact_analysis::AnalyzerConfig {
+                    ranking: compact_analysis::RankingChoice::LinearOnly,
+                    use_exp: false,
+                    use_phase: true,
+                },
+            ),
+        ];
+    }
+    println!("Table 2: contribution of ComPACT components (time in seconds)");
+    println!("timeout per task: {}s\n", timeout.as_secs());
+    print!("{:<16}", "benchmark");
+    for (name, _) in &configurations {
+        print!(" | {:>22}", name);
+    }
+    println!();
+    let mut totals = vec![(0usize, std::time::Duration::ZERO); configurations.len()];
+    for suite in Suite::all() {
+        print!("{:<16}", suite.name());
+        for (i, (_, config)) in configurations.iter().enumerate() {
+            let (summary, _) = run_suite(&Tool::Compact(config.clone()), suite, timeout);
+            totals[i].0 += summary.correct;
+            totals[i].1 += summary.total_time;
+            print!(" | {:>12} {:>9}", summary.correct, seconds(summary.total_time));
+        }
+        println!();
+    }
+    print!("{:<16}", "Total");
+    for (correct, time) in &totals {
+        print!(" | {:>12} {:>9}", correct, seconds(*time));
+    }
+    println!();
+}

@@ -1,0 +1,178 @@
+//! Shared harness for regenerating the tables and figures of the paper's
+//! evaluation (§7).
+//!
+//! The binaries `table1`, `table2` and `fig5` print the corresponding
+//! table/figure; the Criterion benchmarks in `benches/` measure the
+//! scalability of the individual components (path expressions, the `(-)★`
+//! operator, phase analysis, whole-task analysis).
+
+#![warn(missing_docs)]
+
+use compact_analysis::{Analyzer, AnalyzerConfig};
+use compact_baselines::{TerminatorStyle, TermiteStyle};
+use compact_suites::{suite_tasks, Suite, Task};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// The outcome of one tool on one task.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// The task name.
+    pub task: String,
+    /// Whether termination was proved.
+    pub proved: bool,
+    /// Wall-clock time (the timeout value if the tool timed out).
+    pub time: Duration,
+    /// Whether the tool hit the timeout.
+    pub timed_out: bool,
+}
+
+/// Aggregate results of a tool over one suite (one cell group of Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct SuiteSummary {
+    /// Number of tasks in the suite.
+    pub tasks: usize,
+    /// Number of tasks proved terminating.
+    pub correct: usize,
+    /// Total time over all tasks.
+    pub total_time: Duration,
+}
+
+/// The tools compared in Table 1.
+#[derive(Clone, Debug)]
+pub enum Tool {
+    /// ComPACT with a given configuration.
+    Compact(AnalyzerConfig),
+    /// The Termite-style baseline.
+    Termite,
+    /// The Terminator-style baseline.
+    Terminator,
+}
+
+impl Tool {
+    /// The display name of the tool.
+    pub fn name(&self) -> String {
+        match self {
+            Tool::Compact(config) => format!("ComPACT[{}]", config.describe()),
+            Tool::Termite => "Termite-style".to_string(),
+            Tool::Terminator => "Terminator-style".to_string(),
+        }
+    }
+}
+
+/// Runs a tool on a task with a timeout.  Tasks that exceed the timeout are
+/// counted as not proved (matching the paper's treatment).
+pub fn run_task(tool: &Tool, task: &Task, timeout: Duration) -> TaskOutcome {
+    let tool = tool.clone();
+    let task = task.clone();
+    let name = task.name.clone();
+    let (sender, receiver) = mpsc::channel();
+    let start = std::time::Instant::now();
+    thread::spawn(move || {
+        let program = task.program();
+        let (proved, time) = match tool {
+            Tool::Compact(config) => {
+                let analyzer = Analyzer::new(config);
+                let report = analyzer.analyze_program(&program);
+                (report.proved_termination(), report.analysis_time)
+            }
+            Tool::Termite => {
+                let report = TermiteStyle::new().analyze(&program);
+                (report.proved_termination(), report.analysis_time)
+            }
+            Tool::Terminator => {
+                let report = TerminatorStyle::new().analyze(&program);
+                (report.proved_termination(), report.analysis_time)
+            }
+        };
+        let _ = sender.send((proved, time));
+    });
+    match receiver.recv_timeout(timeout) {
+        Ok((proved, time)) => TaskOutcome { task: name, proved, time, timed_out: false },
+        Err(_) => TaskOutcome {
+            task: name,
+            proved: false,
+            time: start.elapsed().min(timeout),
+            timed_out: true,
+        },
+    }
+}
+
+/// Runs a tool over a whole suite.
+pub fn run_suite(tool: &Tool, suite: Suite, timeout: Duration) -> (SuiteSummary, Vec<TaskOutcome>) {
+    let tasks = suite_tasks(suite);
+    let mut summary = SuiteSummary { tasks: tasks.len(), ..SuiteSummary::default() };
+    let mut outcomes = Vec::new();
+    for task in &tasks {
+        let outcome = run_task(tool, task, timeout);
+        if outcome.proved {
+            summary.correct += 1;
+        }
+        summary.total_time += outcome.time;
+        outcomes.push(outcome);
+    }
+    (summary, outcomes)
+}
+
+/// The ablation configurations of Table 2, in row order.
+pub fn table2_configurations() -> Vec<(String, AnalyzerConfig)> {
+    vec![
+        ("ComPACT (default)".to_string(), AnalyzerConfig::compact_default()),
+        ("LLRF only".to_string(), AnalyzerConfig::llrf_only()),
+        ("LLRF + phase".to_string(), AnalyzerConfig::llrf_phase()),
+        ("exp only".to_string(), AnalyzerConfig::exp_only()),
+        ("exp + phase".to_string(), AnalyzerConfig::exp_phase()),
+    ]
+}
+
+/// Formats a duration in seconds with one decimal, as in the paper's tables.
+pub fn seconds(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64())
+}
+
+/// Parses a `--timeout <seconds>` style command-line option, with a default.
+pub fn timeout_from_args(default_secs: u64) -> Duration {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == "--timeout" {
+            if let Ok(secs) = window[1].parse::<u64>() {
+                return Duration::from_secs(secs);
+            }
+        }
+    }
+    Duration::from_secs(default_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_task_respects_timeouts() {
+        let tasks = suite_tasks(Suite::Termination);
+        let task = &tasks[0];
+        // A generous timeout: the simplest task must succeed.
+        let outcome = run_task(
+            &Tool::Compact(AnalyzerConfig::compact_default()),
+            task,
+            Duration::from_secs(60),
+        );
+        assert!(!outcome.timed_out);
+        assert!(outcome.proved, "count_down should be proved");
+        // A zero timeout forces the timeout path.
+        let outcome = run_task(&Tool::Termite, task, Duration::from_millis(0));
+        assert!(outcome.timed_out);
+        assert!(!outcome.proved);
+    }
+
+    #[test]
+    fn table2_has_five_rows() {
+        assert_eq!(table2_configurations().len(), 5);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(Duration::from_millis(1500)), "1.5");
+    }
+}

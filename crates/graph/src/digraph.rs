@@ -1,0 +1,285 @@
+//! A small directed multigraph with indexed nodes and edges.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node in a [`DiGraph`].
+pub type NodeId = usize;
+
+/// Identifier of an edge in a [`DiGraph`].
+pub type EdgeId = usize;
+
+/// A directed edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+/// A directed multigraph.
+///
+/// Nodes and edges are identified by dense indices, which makes the graph
+/// cheap to traverse and easy to use as the control-flow-graph substrate of
+/// the path-expression algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use compact_graph::DiGraph;
+/// let mut g = DiGraph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b);
+/// assert_eq!(g.edge(e).dst, b);
+/// assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![(e, b)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    num_nodes: usize,
+    edges: Vec<Edge>,
+    succ: Vec<Vec<EdgeId>>,
+    pred: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DiGraph {
+        DiGraph::default()
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> DiGraph {
+        DiGraph {
+            num_nodes: n,
+            edges: Vec::new(),
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a node and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.num_nodes;
+        self.num_nodes += 1;
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge and returns its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of the graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        assert!(src < self.num_nodes && dst < self.num_nodes, "edge endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(Edge { src, dst });
+        self.succ[src].push(id);
+        self.pred[dst].push(id);
+        id
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge with the given identifier.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id]
+    }
+
+    /// Iterates over all edges as `(id, edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges.iter().copied().enumerate()
+    }
+
+    /// Iterates over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes
+    }
+
+    /// The outgoing edges of a node, as `(edge id, destination)` pairs.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.succ[node].iter().map(move |&e| (e, self.edges[e].dst))
+    }
+
+    /// The incoming edges of a node, as `(edge id, source)` pairs.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.pred[node].iter().map(move |&e| (e, self.edges[e].src))
+    }
+
+    /// The set of nodes reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: NodeId) -> BTreeSet<NodeId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for (_, next) in self.successors(n) {
+                if !seen.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+        seen
+    }
+
+    /// A reverse post-order of the nodes reachable from `start`.
+    pub fn reverse_postorder(&self, start: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.num_nodes];
+        let mut order = Vec::new();
+        // Iterative DFS with an explicit stack of (node, next successor index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        visited[start] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if *idx < self.succ[node].len() {
+                let edge = self.succ[node][*idx];
+                *idx += 1;
+                let next = self.edges[edge].dst;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Enumerates every path (as a list of edge ids) from `from` to `to` with
+    /// at most `max_len` edges.  Testing utility.
+    pub fn enumerate_paths(&self, from: NodeId, to: NodeId, max_len: usize) -> Vec<Vec<EdgeId>> {
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        self.enumerate_paths_rec(from, to, max_len, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate_paths_rec(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        budget: usize,
+        current: &mut Vec<EdgeId>,
+        out: &mut Vec<Vec<EdgeId>>,
+    ) {
+        if from == to {
+            out.push(current.clone());
+        }
+        if budget == 0 {
+            return;
+        }
+        for (e, next) in self.successors(from) {
+            current.push(e);
+            self.enumerate_paths_rec(next, to, budget - 1, current, out);
+            current.pop();
+        }
+    }
+
+    /// Enumerates every path of exactly `len` edges starting at `from`
+    /// (prefixes of ω-paths).  Testing utility.
+    pub fn enumerate_prefixes(&self, from: NodeId, len: usize) -> Vec<Vec<EdgeId>> {
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        self.enumerate_prefixes_rec(from, len, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate_prefixes_rec(
+        &self,
+        from: NodeId,
+        remaining: usize,
+        current: &mut Vec<EdgeId>,
+        out: &mut Vec<Vec<EdgeId>>,
+    ) {
+        if remaining == 0 {
+            out.push(current.clone());
+            return;
+        }
+        for (e, next) in self.successors(from) {
+            current.push(e);
+            self.enumerate_prefixes_rec(next, remaining - 1, current, out);
+            current.pop();
+        }
+    }
+}
+
+impl fmt::Display for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "digraph with {} nodes:", self.num_nodes)?;
+        for (id, e) in self.edges() {
+            writeln!(f, "  e{}: {} -> {}", id, e.src, e.dst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let succs: Vec<NodeId> = g.successors(0).map(|(_, n)| n).collect();
+        assert_eq!(succs, vec![1, 2]);
+        let preds: Vec<NodeId> = g.predecessors(3).map(|(_, n)| n).collect();
+        assert_eq!(preds, vec![1, 2]);
+    }
+
+    #[test]
+    fn reachability_and_rpo() {
+        let mut g = diamond();
+        let isolated = g.add_node();
+        let reach = g.reachable_from(0);
+        assert!(reach.contains(&3));
+        assert!(!reach.contains(&isolated));
+        let rpo = g.reverse_postorder(0);
+        assert_eq!(rpo[0], 0);
+        assert_eq!(*rpo.last().unwrap(), 3);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn path_enumeration() {
+        let g = diamond();
+        let paths = g.enumerate_paths(0, 3, 3);
+        assert_eq!(paths.len(), 2);
+        let prefixes = g.enumerate_prefixes(0, 2);
+        assert_eq!(prefixes.len(), 2);
+    }
+
+    #[test]
+    fn multi_edges_are_allowed() {
+        let mut g = DiGraph::with_nodes(2);
+        let e1 = g.add_edge(0, 1);
+        let e2 = g.add_edge(0, 1);
+        assert_ne!(e1, e2);
+        assert_eq!(g.successors(0).count(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dominator trees (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::{DiGraph, NodeId};
+use std::collections::BTreeSet;
+
+/// The dominator tree of a rooted directed graph.
+///
+/// Only nodes reachable from the root appear in the tree.  The root
+/// dominates every reachable node; `idom(root)` is `None`.
+///
+/// # Examples
+///
+/// ```
+/// use compact_graph::{DiGraph, DominatorTree};
+/// let mut g = DiGraph::with_nodes(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// let dom = DominatorTree::compute(&g, 0);
+/// assert_eq!(dom.idom(2), Some(1));
+/// assert!(dom.dominates(0, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DominatorTree {
+    root: NodeId,
+    idom: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    reachable: Vec<bool>,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of the graph rooted at `root`.
+    pub fn compute(graph: &DiGraph, root: NodeId) -> DominatorTree {
+        let n = graph.num_nodes();
+        let rpo = graph.reverse_postorder(root);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &node) in rpo.iter().enumerate() {
+            rpo_index[node] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        idom[root] = Some(root);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in rpo.iter().skip(1) {
+                // Intersect the dominators of all processed predecessors.
+                let mut new_idom: Option<NodeId> = None;
+                for (_, pred) in graph.predecessors(node) {
+                    if rpo_index[pred] == usize::MAX || idom[pred].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(cur) => Self::intersect(&idom, &rpo_index, cur, pred),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[node] != Some(ni) {
+                        idom[node] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        let mut reachable = vec![false; n];
+        for &node in &rpo {
+            reachable[node] = true;
+        }
+        for &node in &rpo {
+            if node == root {
+                continue;
+            }
+            if let Some(parent) = idom[node] {
+                children[parent].push(node);
+            }
+        }
+        // The root's self-idom is an implementation artifact.
+        idom[root] = None;
+        DominatorTree { root, idom, children, reachable }
+    }
+
+    fn intersect(
+        idom: &[Option<NodeId>],
+        rpo_index: &[usize],
+        a: NodeId,
+        b: NodeId,
+    ) -> NodeId {
+        let mut a = a;
+        let mut b = b;
+        while a != b {
+            while rpo_index[a] > rpo_index[b] {
+                a = idom[a].expect("processed node has idom");
+            }
+            while rpo_index[b] > rpo_index[a] {
+                b = idom[b].expect("processed node has idom");
+            }
+        }
+        a
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The immediate dominator of a node (`None` for the root and for
+    /// unreachable nodes).
+    pub fn idom(&self, node: NodeId) -> Option<NodeId> {
+        self.idom[node]
+    }
+
+    /// The children of a node in the dominator tree.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node]
+    }
+
+    /// Returns `true` if the node is reachable from the root.
+    pub fn is_reachable(&self, node: NodeId) -> bool {
+        self.reachable[node]
+    }
+
+    /// Returns `true` if `a` dominates `b` (every node dominates itself).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.reachable[a] || !self.reachable[b] {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The set of nodes dominated by `node` (its dominator-tree subtree).
+    pub fn dominated_by(&self, node: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if out.insert(n) {
+                stack.extend(self.children(n).iter().copied());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Figure 2a of the paper.
+    ///
+    /// Nodes 1..=5 (node 0 unused to keep the paper's numbering); edges:
+    /// a: 1→2, b: 1→4, c: 2→2, d: 2→3, e: 4→3, f: 3→5, g: 5→4.
+    fn figure2_graph() -> DiGraph {
+        let mut g = DiGraph::with_nodes(6);
+        g.add_edge(1, 2); // a
+        g.add_edge(1, 4); // b
+        g.add_edge(2, 2); // c
+        g.add_edge(2, 3); // d
+        g.add_edge(4, 3); // e
+        g.add_edge(3, 5); // f
+        g.add_edge(5, 4); // g
+        g
+    }
+
+    #[test]
+    fn figure2_dominator_tree() {
+        let g = figure2_graph();
+        let dom = DominatorTree::compute(&g, 1);
+        // The paper's Figure 2b: children(1) = {2, 3, 4}, children(3) = {5}.
+        assert_eq!(dom.idom(2), Some(1));
+        assert_eq!(dom.idom(3), Some(1));
+        assert_eq!(dom.idom(4), Some(1));
+        assert_eq!(dom.idom(5), Some(3));
+        let mut c1: Vec<_> = dom.children(1).to_vec();
+        c1.sort();
+        assert_eq!(c1, vec![2, 3, 4]);
+        assert_eq!(dom.children(3), &[5]);
+        assert!(dom.dominates(1, 5));
+        assert!(dom.strictly_dominates(3, 5));
+        assert!(!dom.dominates(2, 3));
+        assert!(!dom.is_reachable(0));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let dom = DominatorTree::compute(&g, 0);
+        assert_eq!(dom.idom(3), Some(0));
+        assert_eq!(dom.idom(1), Some(0));
+        assert!(!dom.dominates(1, 3));
+        assert_eq!(dom.dominated_by(0).len(), 4);
+    }
+
+    #[test]
+    fn chain_dominators() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let dom = DominatorTree::compute(&g, 0);
+        assert_eq!(dom.idom(3), Some(2));
+        assert!(dom.dominates(1, 3));
+        assert_eq!(dom.dominated_by(2), [2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn loop_with_two_exits() {
+        // 0 -> 1 -> 2 -> 1 (back edge), 1 -> 3
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(1, 3);
+        let dom = DominatorTree::compute(&g, 0);
+        assert_eq!(dom.idom(1), Some(0));
+        assert_eq!(dom.idom(2), Some(1));
+        assert_eq!(dom.idom(3), Some(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Compressed weighted forests (Tarjan 1979).
+//!
+//! The forest stores, for each non-root vertex, a parent pointer and a
+//! regular-expression label; `eval(v)` returns the concatenation of the
+//! labels from the root of `v`'s tree down to `v`, and `find(v)` returns that
+//! root.  Path compression keeps the amortized cost of each operation
+//! near-constant, which is what gives Algorithm 2 its
+//! `O(|E| α(|E|) + t)` complexity.
+
+use crate::NodeId;
+use compact_regex::Regex;
+
+/// A compressed weighted forest over nodes `0..n` with regular-expression
+/// edge weights.
+///
+/// # Examples
+///
+/// ```
+/// use compact_graph::WeightedForest;
+/// use compact_regex::Regex;
+/// let mut forest: WeightedForest<char> = WeightedForest::new(3);
+/// forest.link(1, Regex::letter('a'), 0); // 0 --a--> 1
+/// forest.link(2, Regex::letter('b'), 1); // 1 --b--> 2
+/// assert_eq!(forest.find(2), 0);
+/// assert_eq!(forest.eval(2).to_string(), "ab");
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedForest<L> {
+    /// For each node: `None` if it is a root, otherwise the parent and the
+    /// label of the edge from the parent to this node.
+    parent: Vec<Option<(NodeId, Regex<L>)>>,
+}
+
+impl<L: Clone> WeightedForest<L> {
+    /// Creates a forest of `n` isolated roots.
+    pub fn new(n: usize) -> WeightedForest<L> {
+        WeightedForest { parent: vec![None; n] }
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the forest has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Makes `parent_node` the parent of `child` with edge label `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is not currently a root.
+    pub fn link(&mut self, child: NodeId, label: Regex<L>, parent_node: NodeId) {
+        assert!(
+            self.parent[child].is_none(),
+            "link: node {} is not a root",
+            child
+        );
+        self.parent[child] = Some((parent_node, label));
+    }
+
+    /// The root of the tree containing `v`.
+    pub fn find(&mut self, v: NodeId) -> NodeId {
+        self.compress(v).0
+    }
+
+    /// The concatenation of edge labels from the root of `v`'s tree to `v`
+    /// (the empty word if `v` is a root).
+    pub fn eval(&mut self, v: NodeId) -> Regex<L> {
+        self.compress(v).1
+    }
+
+    /// Path compression: after this call, `v` points directly at its root
+    /// with the accumulated label.
+    fn compress(&mut self, v: NodeId) -> (NodeId, Regex<L>) {
+        // Collect the path to the root iteratively to avoid deep recursion.
+        let mut path = Vec::new();
+        let mut cur = v;
+        loop {
+            match &self.parent[cur] {
+                None => break,
+                Some((p, _)) => {
+                    path.push(cur);
+                    cur = *p;
+                }
+            }
+        }
+        let root = cur;
+        // Recompute labels top-down so each node on the path points at the
+        // root with the full concatenation.
+        let mut acc: Regex<L> = Regex::one();
+        for &node in path.iter().rev() {
+            let (_, label) = self.parent[node].clone().expect("node on path has parent");
+            // Note: the parent currently stored may already be the root (from
+            // an earlier compression), in which case `label` is already the
+            // full product from the root to `node`'s old parent... To keep
+            // the accumulation correct we must use the label relative to the
+            // stored parent, which `acc` tracks because we walk the stored
+            // parent chain.
+            acc = Regex::cat(acc.clone(), label);
+            self.parent[node] = Some((root, acc.clone()));
+        }
+        if path.is_empty() {
+            (root, Regex::one())
+        } else {
+            (root, self.parent[v].clone().expect("compressed").1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_evaluate_to_one() {
+        let mut f: WeightedForest<char> = WeightedForest::new(2);
+        assert_eq!(f.find(0), 0);
+        assert!(f.eval(0).is_one());
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn chain_concatenates_in_order() {
+        let mut f: WeightedForest<char> = WeightedForest::new(4);
+        // Build 0 --a--> 1 --b--> 2 --c--> 3
+        f.link(1, Regex::letter('a'), 0);
+        f.link(2, Regex::letter('b'), 1);
+        f.link(3, Regex::letter('c'), 2);
+        assert_eq!(f.eval(3).to_string(), "abc");
+        assert_eq!(f.eval(2).to_string(), "ab");
+        assert_eq!(f.find(3), 0);
+        // Evaluate again after compression: results must be stable.
+        assert_eq!(f.eval(3).to_string(), "abc");
+        assert_eq!(f.eval(1).to_string(), "a");
+    }
+
+    #[test]
+    fn relink_after_compression() {
+        let mut f: WeightedForest<char> = WeightedForest::new(4);
+        f.link(1, Regex::letter('a'), 0);
+        f.link(2, Regex::letter('b'), 1);
+        assert_eq!(f.eval(2).to_string(), "ab");
+        // Link the old root 0 under a new root 3.
+        f.link(0, Regex::letter('r'), 3);
+        assert_eq!(f.find(2), 3);
+        assert_eq!(f.eval(2).to_string(), "rab");
+        assert_eq!(f.eval(0).to_string(), "r");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a root")]
+    fn double_link_panics() {
+        let mut f: WeightedForest<char> = WeightedForest::new(3);
+        f.link(1, Regex::letter('a'), 0);
+        f.link(1, Regex::letter('b'), 2);
+    }
+
+    #[test]
+    fn figure2_forest() {
+        // The weighted forest of Figure 2c: eventually 2, 3, 4 all link to 1.
+        // Node ids match the paper (0 unused).
+        let mut f: WeightedForest<&'static str> = WeightedForest::new(6);
+        f.link(5, Regex::letter("f"), 3); // 3 --f--> 5 (from solve-sparse(3))
+        // After processing component {2}: link 2 to 1 with a c*.
+        f.link(
+            2,
+            Regex::cat(Regex::letter("a"), Regex::star(Regex::letter("c"))),
+            1,
+        );
+        assert_eq!(f.eval(2).to_string(), "a(c)*");
+        assert_eq!(f.find(5), 3);
+        assert_eq!(f.eval(5).to_string(), "f");
+    }
+}

@@ -1,0 +1,46 @@
+//! Control-flow-graph algorithms for algebraic program analysis.
+//!
+//! This crate implements the graph-algorithmic substrate of §4 of
+//! *"Termination Analysis without the Tears"*:
+//!
+//! * [`DiGraph`] — a small directed multigraph;
+//! * [`DominatorTree`] — dominator trees (iterative algorithm);
+//! * [`SccDecomposition`] — Tarjan strongly connected components in
+//!   topological order;
+//! * [`WeightedForest`] — the compressed weighted forest data structure
+//!   (Tarjan 1979) with path compression;
+//! * [`solve_dense`] — Algorithm 1, the naïve path-expression algorithm;
+//! * [`omega_path_expression`] — Algorithm 2, the nearly linear ω-path
+//!   expression algorithm (`solve-sparse`);
+//! * [`path_expression_to`] / [`single_source_path_expressions`] — finite
+//!   path expressions used for procedure summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use compact_graph::{DiGraph, omega_path_expression};
+//! // A single loop: 0 -> 1 -> 2 -> 1.
+//! let mut g = DiGraph::with_nodes(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(2, 1);
+//! let expr = omega_path_expression(&g, 0);
+//! assert!(!expr.is_zero());
+//! ```
+
+#![warn(missing_docs)]
+
+mod digraph;
+mod dominators;
+mod forest;
+mod path_expr;
+mod scc;
+
+pub use digraph::{DiGraph, Edge, EdgeId, NodeId};
+pub use dominators::DominatorTree;
+pub use forest::WeightedForest;
+pub use path_expr::{
+    omega_path_expression, path_expression_to, single_source_path_expressions, solve_dense,
+    DenseSolution, PathGraph,
+};
+pub use scc::SccDecomposition;

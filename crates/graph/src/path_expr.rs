@@ -1,0 +1,456 @@
+//! Path-expression algorithms (§4 of the paper).
+//!
+//! * [`solve_dense`] — Algorithm 1, the naïve state-elimination algorithm on
+//!   a *path graph* (a graph whose edges are labeled by regular expressions
+//!   over the edges of an underlying flow graph).
+//! * [`omega_path_expression`] — Algorithm 2 (`solve-sparse`), the nearly
+//!   linear algorithm that uses the dominator tree and a compressed weighted
+//!   forest to compute an ω-regular expression recognizing all infinite
+//!   paths from the root.
+//! * [`path_expression_to`] — a finite-path variant used for procedure
+//!   summaries (paths from the root to a designated exit vertex).
+//!
+//! The alphabet of the produced expressions is [`EdgeId`]: each letter is an
+//! edge of the underlying graph.
+
+use crate::{DiGraph, DominatorTree, EdgeId, NodeId, SccDecomposition, WeightedForest};
+use compact_regex::{OmegaRegex, Regex};
+use std::collections::HashMap;
+
+/// A path graph: a set of vertices of an underlying flow graph together with
+/// edges labeled by regular expressions over the flow graph's edges.
+#[derive(Clone, Debug, Default)]
+pub struct PathGraph {
+    /// Vertices of the path graph (vertex ids of the underlying flow graph).
+    pub vertices: Vec<NodeId>,
+    /// Weighted edges `(src, label, dst)`.
+    pub edges: Vec<(NodeId, Regex<EdgeId>, NodeId)>,
+}
+
+impl PathGraph {
+    /// Creates a path graph with the given vertices and no edges.
+    pub fn new(vertices: Vec<NodeId>) -> PathGraph {
+        PathGraph { vertices, edges: Vec::new() }
+    }
+
+    /// Adds a weighted edge.
+    pub fn add_edge(&mut self, src: NodeId, label: Regex<EdgeId>, dst: NodeId) {
+        self.edges.push((src, label, dst));
+    }
+}
+
+/// The result of [`solve_dense`]: an ω-path expression for the root and a
+/// finite path expression from the root to every vertex of the path graph.
+#[derive(Clone, Debug)]
+pub struct DenseSolution {
+    /// Recognizes the ω-paths represented by the path graph, starting at the
+    /// root.
+    pub omega: OmegaRegex<EdgeId>,
+    /// For each vertex, a path expression recognizing the represented paths
+    /// from the root to that vertex.
+    pub to_vertex: HashMap<NodeId, Regex<EdgeId>>,
+}
+
+/// Algorithm 1: the naïve path-expression algorithm (state elimination) on a
+/// path graph rooted at `root`.
+///
+/// `root` must have no incoming edges in the path graph.
+pub fn solve_dense(graph: &PathGraph, root: NodeId) -> DenseSolution {
+    // Order the vertices as v0 = root, v1, ..., vn.
+    let mut order: Vec<NodeId> = vec![root];
+    for &v in &graph.vertices {
+        if v != root {
+            order.push(v);
+        }
+    }
+    let n = order.len() - 1;
+    let index: HashMap<NodeId, usize> = order.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+
+    // pe[i][j] recognizes the paths from order[i] to order[j].
+    let mut pe: Vec<Vec<Regex<EdgeId>>> = vec![vec![Regex::zero(); n + 1]; n + 1];
+    for (src, label, dst) in &graph.edges {
+        let (Some(&i), Some(&j)) = (index.get(src), index.get(dst)) else {
+            continue;
+        };
+        debug_assert_ne!(j, 0, "root of a path graph must have no incoming edges");
+        pe[i][j] = Regex::plus(pe[i][j].clone(), label.clone());
+    }
+
+    // State elimination.
+    for i in (1..=n).rev() {
+        for j in (0..i).rev() {
+            let e_ji = Regex::cat(pe[j][i].clone(), Regex::star(pe[i][i].clone()));
+            if e_ji.is_zero() {
+                continue;
+            }
+            for k in (1..=n).rev() {
+                if k == i {
+                    continue;
+                }
+                let addition = Regex::cat(e_ji.clone(), pe[i][k].clone());
+                pe[j][k] = Regex::plus(pe[j][k].clone(), addition);
+            }
+        }
+    }
+
+    // Assemble the results.
+    let mut omega = OmegaRegex::zero();
+    for i in 1..=n {
+        let contribution = OmegaRegex::cat(
+            pe[0][i].clone(),
+            OmegaRegex::omega(pe[i][i].clone()),
+        );
+        omega = OmegaRegex::plus(omega, contribution);
+    }
+    let mut to_vertex = HashMap::new();
+    for (i, &v) in order.iter().enumerate() {
+        let expr = if i == 0 {
+            Regex::star(pe[0][0].clone())
+        } else {
+            Regex::cat(pe[0][i].clone(), Regex::star(pe[i][i].clone()))
+        };
+        to_vertex.insert(v, expr);
+    }
+    DenseSolution { omega, to_vertex }
+}
+
+/// Algorithm 2 (`PathExpω`): computes an ω-regular expression recognizing all
+/// infinite paths of `graph` starting at `root`.
+///
+/// The letters of the result are edge identifiers of `graph`.
+///
+/// # Panics
+///
+/// Panics if `root` has incoming edges (the paper's CFG definition requires a
+/// root with no incoming edges; front ends introduce a fresh entry vertex).
+pub fn omega_path_expression(graph: &DiGraph, root: NodeId) -> OmegaRegex<EdgeId> {
+    assert_eq!(
+        graph.predecessors(root).count(),
+        0,
+        "omega_path_expression: the root must have no incoming edges"
+    );
+    let dom = DominatorTree::compute(graph, root);
+    let mut state = SparseState {
+        graph,
+        dom: &dom,
+        forest: WeightedForest::new(graph.num_nodes()),
+    };
+    state.solve_sparse(root)
+}
+
+struct SparseState<'a> {
+    graph: &'a DiGraph,
+    dom: &'a DominatorTree,
+    forest: WeightedForest<EdgeId>,
+}
+
+impl<'a> SparseState<'a> {
+    /// The `solve-sparse(v)` subroutine of Algorithm 2.
+    fn solve_sparse(&mut self, v: NodeId) -> OmegaRegex<EdgeId> {
+        // Recurse into the dominator-tree children first.
+        let children: Vec<NodeId> = self.dom.children(v).to_vec();
+        let mut child_omega: HashMap<NodeId, OmegaRegex<EdgeId>> = HashMap::new();
+        for &c in &children {
+            let pe = self.solve_sparse(c);
+            child_omega.insert(c, pe);
+        }
+
+        // Sibling graph: vertices are the children of v; there is an edge
+        // (find(u), c) for every flow edge (u, c) with c a child of v and
+        // find(u) also a child of v.
+        let is_child: std::collections::HashSet<NodeId> = children.iter().copied().collect();
+        let mut sibling = DiGraph::with_nodes(self.graph.num_nodes());
+        for &c in &children {
+            for (_, u) in self.graph.predecessors(c) {
+                if !self.dom.is_reachable(u) {
+                    continue;
+                }
+                let fu = self.forest.find(u);
+                if is_child.contains(&fu) {
+                    sibling.add_edge(fu, c);
+                }
+            }
+        }
+        let sccs = SccDecomposition::compute_on(&sibling, &children);
+
+        let mut omega = OmegaRegex::zero();
+        for component in sccs.components() {
+            // Component graph: vertices C ∪ {v}, complete for E|_v.
+            let mut component_graph = PathGraph::new(
+                std::iter::once(v).chain(component.iter().copied()).collect(),
+            );
+            let in_component: std::collections::HashSet<NodeId> =
+                component.iter().copied().collect();
+            for &u in component {
+                for (edge_id, w) in self.graph.predecessors(u) {
+                    if !self.dom.is_reachable(w) {
+                        continue;
+                    }
+                    let fw = self.forest.find(w);
+                    if fw != v && !in_component.contains(&fw) {
+                        // Predecessor belongs to a later component (possible
+                        // only through edges that are not in E|_v restricted
+                        // to processed vertices); skip it — such paths enter
+                        // the component through another edge that is
+                        // captured when its component is processed.
+                        continue;
+                    }
+                    let label = Regex::cat(self.forest.eval(w), Regex::letter(edge_id));
+                    component_graph.add_edge(fw, label, u);
+                }
+            }
+            let solution = solve_dense(&component_graph, v);
+            omega = OmegaRegex::plus(omega, solution.omega);
+            for &u in component {
+                let pe_u = solution.to_vertex[&u].clone();
+                self.forest.link(u, pe_u.clone(), v);
+                if let Some(child_pe) = child_omega.get(&u) {
+                    omega = OmegaRegex::plus(omega, OmegaRegex::cat(pe_u, child_pe.clone()));
+                }
+            }
+        }
+        omega
+    }
+}
+
+/// Computes a regular expression recognizing all paths from `root` to
+/// `target` in the graph, via state elimination over the whole graph.
+///
+/// This is the finite-path companion of [`omega_path_expression`], used to
+/// compute procedure summaries (`PathExp_G(entry, exit)` in §5.2).
+pub fn path_expression_to(graph: &DiGraph, root: NodeId, target: NodeId) -> Regex<EdgeId> {
+    let reachable = graph.reachable_from(root);
+    if !reachable.contains(&target) {
+        return Regex::zero();
+    }
+    // Build a path graph over the reachable vertices with one letter per
+    // edge.  If the root has incoming edges, introduce a virtual root.
+    let has_root_preds = graph.predecessors(root).count() > 0;
+    let virtual_root = graph.num_nodes();
+    let mut vertices: Vec<NodeId> = reachable.iter().copied().collect();
+    let start = if has_root_preds {
+        vertices.push(virtual_root);
+        virtual_root
+    } else {
+        root
+    };
+    let mut pg = PathGraph::new(vertices);
+    if has_root_preds {
+        pg.add_edge(virtual_root, Regex::one(), root);
+    }
+    for (id, e) in graph.edges() {
+        if reachable.contains(&e.src) && reachable.contains(&e.dst) {
+            pg.add_edge(e.src, Regex::letter(id), e.dst);
+        }
+    }
+    let solution = solve_dense(&pg, start);
+    solution.to_vertex.get(&target).cloned().unwrap_or_else(Regex::zero)
+}
+
+/// Computes path expressions from `root` to every reachable vertex.
+pub fn single_source_path_expressions(
+    graph: &DiGraph,
+    root: NodeId,
+) -> HashMap<NodeId, Regex<EdgeId>> {
+    let reachable = graph.reachable_from(root);
+    let has_root_preds = graph.predecessors(root).count() > 0;
+    let virtual_root = graph.num_nodes();
+    let mut vertices: Vec<NodeId> = reachable.iter().copied().collect();
+    let start = if has_root_preds {
+        vertices.push(virtual_root);
+        virtual_root
+    } else {
+        root
+    };
+    let mut pg = PathGraph::new(vertices);
+    if has_root_preds {
+        pg.add_edge(virtual_root, Regex::one(), root);
+    }
+    for (id, e) in graph.edges() {
+        if reachable.contains(&e.src) && reachable.contains(&e.dst) {
+            pg.add_edge(e.src, Regex::letter(id), e.dst);
+        }
+    }
+    let mut solution = solve_dense(&pg, start).to_vertex;
+    solution.remove(&virtual_root);
+    solution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_regex::{enumerate_words, omega_prefix_words};
+    use std::collections::BTreeSet;
+
+    /// Checks that the ω-path expression for `graph`/`root` recognizes
+    /// exactly the length-`len` prefixes of infinite paths from `root`.
+    ///
+    /// Since every finite prefix of an infinite path can be extended iff it
+    /// ends at a vertex from which a cycle is reachable, we compare against
+    /// graph enumeration of prefixes that can be extended to length
+    /// `len + slack` (a crude but effective finite check).
+    fn check_omega_prefixes(graph: &DiGraph, root: NodeId, expr: &OmegaRegex<EdgeId>, len: usize) {
+        let expr_prefixes: BTreeSet<Vec<EdgeId>> = omega_prefix_words(expr, len);
+        // Graph prefixes of length `len` that can be extended much further
+        // (a proxy for "lies on an infinite path").
+        let slack = graph.num_nodes() + 2;
+        let long: BTreeSet<Vec<EdgeId>> = graph
+            .enumerate_prefixes(root, len + slack)
+            .into_iter()
+            .map(|p| p[..len].to_vec())
+            .collect();
+        assert_eq!(expr_prefixes, long, "prefix mismatch at length {}", len);
+    }
+
+    /// The flow graph of Figure 2a (nodes 1..=5; node 0 unused).
+    fn figure2_graph() -> DiGraph {
+        let mut g = DiGraph::with_nodes(6);
+        g.add_edge(1, 2); // 0: a
+        g.add_edge(1, 4); // 1: b
+        g.add_edge(2, 2); // 2: c
+        g.add_edge(2, 3); // 3: d
+        g.add_edge(4, 3); // 4: e
+        g.add_edge(3, 5); // 5: f
+        g.add_edge(5, 4); // 6: g
+        g
+    }
+
+    /// The CFG of Figure 1b: r,a,b,c,d,e,f = 0..6 (f unused sink removed —
+    /// the halt vertex has no outgoing edges).
+    fn figure1_graph() -> DiGraph {
+        let mut g = DiGraph::with_nodes(7);
+        g.add_edge(0, 1); // 0: r->a   step := 8
+        g.add_edge(1, 2); // 1: a->b   m := 0
+        g.add_edge(2, 1); // 2: b->a   [m >= step]
+        g.add_edge(2, 3); // 3: b->c   [m < step]
+        g.add_edge(3, 6); // 4: c->f   [n < 0] halt
+        g.add_edge(3, 4); // 5: c->d   [n >= 0]
+        g.add_edge(4, 5); // 6: d->e   m := m+1
+        g.add_edge(5, 2); // 7: e->b   n := n-1
+        g
+    }
+
+    #[test]
+    fn solve_dense_simple_loop() {
+        // 0 -> 1, 1 -> 1 (self loop), 1 -> 2.
+        let mut pg = PathGraph::new(vec![0, 1, 2]);
+        pg.add_edge(0, Regex::letter(10), 1);
+        pg.add_edge(1, Regex::letter(11), 1);
+        pg.add_edge(1, Regex::letter(12), 2);
+        let sol = solve_dense(&pg, 0);
+        let words_to_2 = enumerate_words(&sol.to_vertex[&2], 4);
+        assert!(words_to_2.contains(&vec![10, 12]));
+        assert!(words_to_2.contains(&vec![10, 11, 12]));
+        assert!(words_to_2.contains(&vec![10, 11, 11, 12]));
+        assert!(!words_to_2.contains(&vec![10, 11]));
+        // ω-paths loop at vertex 1 forever.
+        let prefixes = omega_prefix_words(&sol.omega, 3);
+        assert!(prefixes.contains(&vec![10, 11, 11]));
+        assert_eq!(prefixes.len(), 1);
+    }
+
+    #[test]
+    fn sparse_matches_prefixes_on_figure2() {
+        let g = figure2_graph();
+        let expr = omega_path_expression(&g, 1);
+        for len in 1..=6 {
+            check_omega_prefixes(&g, 1, &expr, len);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_prefixes_on_figure1() {
+        let g = figure1_graph();
+        let expr = omega_path_expression(&g, 0);
+        for len in 1..=7 {
+            check_omega_prefixes(&g, 0, &expr, len);
+        }
+    }
+
+    #[test]
+    fn sparse_on_nested_loops() {
+        // 0 -> 1; 1 -> 2 -> 1 (inner); 1 -> 3 -> 0'? Use: outer loop 1->2->1,
+        // plus 2 -> 3 -> 2 nested differently, and an exit 1 -> 4.
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        g.add_edge(1, 4);
+        let expr = omega_path_expression(&g, 0);
+        for len in 1..=6 {
+            check_omega_prefixes(&g, 0, &expr, len);
+        }
+    }
+
+    #[test]
+    fn sparse_on_irreducible_graph() {
+        // Irreducible: 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1 (cycle {1,2} with two
+        // entries).
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        let expr = omega_path_expression(&g, 0);
+        for len in 1..=6 {
+            check_omega_prefixes(&g, 0, &expr, len);
+        }
+    }
+
+    #[test]
+    fn sparse_on_dag_has_empty_omega_language() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let expr = omega_path_expression(&g, 0);
+        assert!(omega_prefix_words(&expr, 1).is_empty());
+    }
+
+    #[test]
+    fn path_expression_to_exit() {
+        let g = figure1_graph();
+        // Paths from r (0) to the halt vertex f (6).
+        let expr = path_expression_to(&g, 0, 6);
+        let words = enumerate_words(&expr, 6);
+        // Shortest path: r->a (0), a->b (1), b->c (3), c->f (4).
+        assert!(words.contains(&vec![0, 1, 3, 4]));
+        // All enumerated words must be actual paths from 0 to 6.
+        let actual: BTreeSet<Vec<EdgeId>> = g.enumerate_paths(0, 6, 6).into_iter().collect();
+        for w in &words {
+            assert!(actual.contains(w), "{:?} is not a path", w);
+        }
+        // And vice versa for bounded length.
+        for p in &actual {
+            assert!(words.contains(p), "path {:?} not recognized", p);
+        }
+    }
+
+    #[test]
+    fn path_expression_with_root_self_loop() {
+        // The root has an incoming edge; a virtual root is introduced.
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let expr = path_expression_to(&g, 0, 1);
+        let words = enumerate_words(&expr, 4);
+        assert!(words.contains(&vec![0]));
+        assert!(words.contains(&vec![0, 1, 0]));
+    }
+
+    #[test]
+    fn single_source_expressions_cover_all_reachable() {
+        let g = figure2_graph();
+        let exprs = single_source_path_expressions(&g, 1);
+        for v in [2usize, 3, 4, 5] {
+            let words = enumerate_words(&exprs[&v], 5);
+            let actual: BTreeSet<Vec<EdgeId>> = g.enumerate_paths(1, v, 5).into_iter().collect();
+            let bounded: BTreeSet<Vec<EdgeId>> =
+                words.into_iter().filter(|w| w.len() <= 5).collect();
+            assert_eq!(bounded, actual, "mismatch for vertex {}", v);
+        }
+    }
+}

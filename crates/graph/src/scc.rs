@@ -1,0 +1,223 @@
+//! Strongly connected components (Tarjan's algorithm) and topological order.
+
+use crate::{DiGraph, NodeId};
+
+/// The strongly connected components of a graph, in topological order
+/// (components with no incoming edges from other components come first).
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    components: Vec<Vec<NodeId>>,
+    component_of: Vec<usize>,
+}
+
+impl SccDecomposition {
+    /// Computes the SCCs of the sub-graph induced by `nodes`, considering
+    /// only edges between nodes of the set.
+    pub fn compute_on(graph: &DiGraph, nodes: &[NodeId]) -> SccDecomposition {
+        let in_set = {
+            let mut v = vec![false; graph.num_nodes()];
+            for &n in nodes {
+                v[n] = true;
+            }
+            v
+        };
+        Tarjan::run(graph, nodes, &in_set)
+    }
+
+    /// Computes the SCCs of the whole graph.
+    pub fn compute(graph: &DiGraph) -> SccDecomposition {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        SccDecomposition::compute_on(graph, &nodes)
+    }
+
+    /// The components in topological order.
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// The index (in [`Self::components`]) of the component containing a
+    /// node, or `usize::MAX` if the node was not part of the input set.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component_of[node]
+    }
+}
+
+struct Tarjan<'a> {
+    graph: &'a DiGraph,
+    in_set: &'a [bool],
+    index: Vec<usize>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<NodeId>,
+    next_index: usize,
+    components: Vec<Vec<NodeId>>,
+}
+
+impl<'a> Tarjan<'a> {
+    fn run(graph: &DiGraph, nodes: &[NodeId], in_set: &[bool]) -> SccDecomposition {
+        let n = graph.num_nodes();
+        let mut t = Tarjan {
+            graph,
+            in_set,
+            index: vec![usize::MAX; n],
+            lowlink: vec![usize::MAX; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        };
+        for &v in nodes {
+            if t.index[v] == usize::MAX {
+                t.strongconnect(v);
+            }
+        }
+        // Tarjan produces components in reverse topological order.
+        t.components.reverse();
+        let mut component_of = vec![usize::MAX; n];
+        for (i, comp) in t.components.iter().enumerate() {
+            for &v in comp {
+                component_of[v] = i;
+            }
+        }
+        SccDecomposition { components: t.components, component_of }
+    }
+
+    fn strongconnect(&mut self, v: NodeId) {
+        // Iterative DFS to avoid stack overflows on long chains.
+        enum Frame {
+            Enter(NodeId),
+            Continue(NodeId, usize),
+        }
+        let mut work = vec![Frame::Enter(v)];
+        // Track the DFS parent relationship for lowlink propagation.
+        let mut parents: Vec<(NodeId, NodeId)> = Vec::new();
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    self.index[v] = self.next_index;
+                    self.lowlink[v] = self.next_index;
+                    self.next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v] = true;
+                    work.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, succ_idx) => {
+                    let succs: Vec<NodeId> = self
+                        .graph
+                        .successors(v)
+                        .map(|(_, w)| w)
+                        .filter(|&w| self.in_set[w])
+                        .collect();
+                    if succ_idx < succs.len() {
+                        let w = succs[succ_idx];
+                        work.push(Frame::Continue(v, succ_idx + 1));
+                        if self.index[w] == usize::MAX {
+                            parents.push((v, w));
+                            work.push(Frame::Enter(w));
+                        } else if self.on_stack[w] {
+                            self.lowlink[v] = self.lowlink[v].min(self.index[w]);
+                        }
+                    } else {
+                        // Finished v: propagate lowlink to its DFS parent.
+                        if let Some(&(p, child)) = parents.last() {
+                            if child == v {
+                                self.lowlink[p] = self.lowlink[p].min(self.lowlink[v]);
+                                parents.pop();
+                            }
+                        }
+                        if self.lowlink[v] == self.index[v] {
+                            let mut comp = Vec::new();
+                            loop {
+                                let w = self.stack.pop().expect("scc stack underflow");
+                                self.on_stack[w] = false;
+                                comp.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            self.components.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle() {
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.components().len(), 1);
+        assert_eq!(scc.components()[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_components_are_singletons_in_topological_order() {
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.components().len(), 4);
+        // Topological: 0 before 1 and 2, which are before 3.
+        let pos = |n: NodeId| scc.component_of(n);
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn two_cycles_in_order() {
+        // {0,1} -> {2,3}
+        let mut g = DiGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 2);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.components().len(), 2);
+        assert!(scc.component_of(0) < scc.component_of(2));
+        assert_eq!(scc.component_of(0), scc.component_of(1));
+        assert_eq!(scc.component_of(2), scc.component_of(3));
+    }
+
+    #[test]
+    fn restricted_node_set() {
+        // Full graph is a cycle 0->1->2->0, but restricted to {0, 1} there is
+        // no cycle.
+        let mut g = DiGraph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let scc = SccDecomposition::compute_on(&g, &[0, 1]);
+        assert_eq!(scc.components().len(), 2);
+        assert_eq!(scc.component_of(2), usize::MAX);
+    }
+
+    #[test]
+    fn figure2_sibling_graph_sccs() {
+        // The sibling graph of node 1 in Figure 2d: nodes {2, 3, 4} with
+        // edges 2->3, 3->4, 4->3.
+        let mut g = DiGraph::with_nodes(5);
+        g.add_edge(2, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 3);
+        let scc = SccDecomposition::compute_on(&g, &[2, 3, 4]);
+        assert_eq!(scc.components().len(), 2);
+        assert_eq!(scc.components()[0], vec![2]);
+        let mut second = scc.components()[1].clone();
+        second.sort();
+        assert_eq!(second, vec![3, 4]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Abstract syntax of the mini imperative language.
+//!
+//! The language is deliberately small — integer variables, assignments,
+//! non-deterministic choice, `while`/`if`, `assume`, `halt` and procedure
+//! calls — but expressive enough to encode the benchmark programs of the
+//! paper's evaluation (§7): conditional control flow is compiled to
+//! assumptions exactly as in Figure 1.
+
+use compact_logic::{Formula, Term};
+use std::fmt;
+
+/// An integer expression: either a linear term or a non-deterministic value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A linear term over the program variables.
+    Linear(Term),
+    /// A non-deterministic integer (`nondet()` / `*`).
+    Nondet,
+}
+
+/// A boolean condition: either a formula or a non-deterministic choice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// A quantifier-free LIA formula over the program variables.
+    Formula(Formula),
+    /// Non-deterministic choice (`*`).
+    Nondet,
+}
+
+impl Cond {
+    /// The formula assumed when the condition is taken.
+    pub fn assumed(&self) -> Formula {
+        match self {
+            Cond::Formula(f) => f.clone(),
+            Cond::Nondet => Formula::True,
+        }
+    }
+
+    /// The formula assumed when the condition is *not* taken.
+    pub fn refuted(&self) -> Formula {
+        match self {
+            Cond::Formula(f) => Formula::not(f.clone()),
+            Cond::Nondet => Formula::True,
+        }
+    }
+}
+
+/// A statement of the mini language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `x := e;`
+    Assign(String, Expr),
+    /// `assume(c);` — blocks unless the condition holds.
+    Assume(Formula),
+    /// `if (c) { … } else { … }` (the else branch may be empty).
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }`
+    While(Cond, Vec<Stmt>),
+    /// `halt;` — terminates the whole program.
+    Halt,
+    /// `skip;`
+    Skip,
+    /// `call p();` — invokes procedure `p` (all variables are global).
+    Call(String),
+}
+
+/// A procedure definition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcDef {
+    /// The procedure name.
+    pub name: String,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program: a list of procedure definitions.
+///
+/// The entry point is the procedure named `main` if present, otherwise the
+/// first procedure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceProgram {
+    /// The procedures, in source order.
+    pub procedures: Vec<ProcDef>,
+}
+
+impl SourceProgram {
+    /// The name of the entry procedure.
+    pub fn entry_name(&self) -> &str {
+        self.procedures
+            .iter()
+            .find(|p| p.name == "main")
+            .unwrap_or(&self.procedures[0])
+            .name
+            .as_str()
+    }
+
+    /// Looks up a procedure by name.
+    pub fn procedure(&self, name: &str) -> Option<&ProcDef> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Assign(x, Expr::Linear(t)) => write!(f, "{} := {};", x, t),
+            Stmt::Assign(x, Expr::Nondet) => write!(f, "{} := nondet();", x),
+            Stmt::Assume(c) => write!(f, "assume({});", c),
+            Stmt::If(c, _, _) => write!(f, "if ({:?}) {{ … }}", c),
+            Stmt::While(c, _) => write!(f, "while ({:?}) {{ … }}", c),
+            Stmt::Halt => write!(f, "halt;"),
+            Stmt::Skip => write!(f, "skip;"),
+            Stmt::Call(p) => write!(f, "call {}();", p),
+        }
+    }
+}

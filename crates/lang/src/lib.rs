@@ -1,0 +1,41 @@
+//! The mini imperative language front end for the ComPACT termination
+//! analyzer.
+//!
+//! The paper's implementation analyzes C programs through a goto-program
+//! front end; this crate provides the equivalent plumbing for a small
+//! imperative language with integer variables, `while`/`if`, `assume`,
+//! non-determinism, `halt` and (parameterless, global-variable) procedure
+//! calls — the program model of §3.4 / §5.2:
+//!
+//! * [`parse_source`] / [`SourceProgram`] — concrete syntax and AST;
+//! * [`compile`] / [`Program`] — lowering to labeled control flow graphs
+//!   whose edges carry [`compact_tf::TransitionFormula`]s or procedure
+//!   calls.
+//!
+//! # Examples
+//!
+//! ```
+//! use compact_lang::compile;
+//! let program = compile(r#"
+//!     proc main() {
+//!         while (x > 0) { x := x - 1; }
+//!     }
+//! "#).unwrap();
+//! assert_eq!(program.entry, "main");
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lower;
+mod parser;
+
+pub use ast::{Cond, Expr, ProcDef, SourceProgram, Stmt};
+pub use lower::{assume_formula, compile, lower, CompileError, EdgeLabel, Procedure, Program};
+pub use parser::{parse_source, ParseError};
+
+/// Parses a program (alias of [`parse_source`] kept for discoverability from
+/// the façade crate).
+pub fn parse_program(source: &str) -> Result<SourceProgram, ParseError> {
+    parse_source(source)
+}

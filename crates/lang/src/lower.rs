@@ -1,0 +1,464 @@
+//! Lowering from the AST to labeled control flow graphs (the program model
+//! of §3.4 and §5.2 of the paper).
+
+use crate::ast::{Cond, Expr, SourceProgram, Stmt};
+use crate::parser::{parse_source, ParseError};
+use compact_graph::{DiGraph, EdgeId, NodeId};
+use compact_logic::{Formula, Symbol};
+use compact_tf::TransitionFormula;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The label of a control-flow edge: either a transition formula or a
+/// procedure call (§5.2).
+#[derive(Clone, Debug)]
+pub enum EdgeLabel {
+    /// An intra-procedural step.
+    Transition(TransitionFormula),
+    /// A call to the named procedure.
+    Call(String),
+}
+
+impl EdgeLabel {
+    /// Returns the transition formula, if this is not a call.
+    pub fn as_transition(&self) -> Option<&TransitionFormula> {
+        match self {
+            EdgeLabel::Transition(t) => Some(t),
+            EdgeLabel::Call(_) => None,
+        }
+    }
+
+    /// Returns the called procedure name, if this is a call.
+    pub fn as_call(&self) -> Option<&str> {
+        match self {
+            EdgeLabel::Transition(_) => None,
+            EdgeLabel::Call(name) => Some(name),
+        }
+    }
+}
+
+/// A lowered procedure: a control flow graph with labeled edges, an entry
+/// vertex (with no incoming edges) and an exit vertex.
+#[derive(Clone, Debug)]
+pub struct Procedure {
+    /// The procedure name.
+    pub name: String,
+    /// The control flow graph.
+    pub graph: DiGraph,
+    /// The entry vertex (no incoming edges).
+    pub entry: NodeId,
+    /// The exit vertex.
+    pub exit: NodeId,
+    /// Edge labels, indexed by [`EdgeId`].
+    pub labels: Vec<EdgeLabel>,
+}
+
+impl Procedure {
+    /// The label of an edge.
+    pub fn label(&self, edge: EdgeId) -> &EdgeLabel {
+        &self.labels[edge]
+    }
+
+    /// Returns `true` if the procedure contains a call edge.
+    pub fn has_calls(&self) -> bool {
+        self.labels.iter().any(|l| l.as_call().is_some())
+    }
+
+    /// The names of procedures called by this procedure.
+    pub fn callees(&self) -> BTreeSet<String> {
+        self.labels
+            .iter()
+            .filter_map(|l| l.as_call().map(str::to_string))
+            .collect()
+    }
+}
+
+/// A lowered program: the global variables and one [`Procedure`] per source
+/// procedure.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The global program variables (all variables are global, §5.2).
+    pub vars: Vec<Symbol>,
+    /// The procedures.
+    pub procedures: Vec<Procedure>,
+    /// The name of the entry procedure.
+    pub entry: String,
+}
+
+impl Program {
+    /// Looks up a procedure by name.
+    pub fn procedure(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name == name)
+    }
+
+    /// The entry procedure.
+    pub fn entry_procedure(&self) -> &Procedure {
+        self.procedure(&self.entry).expect("entry procedure exists")
+    }
+
+    /// Returns `true` if any procedure performs a call.
+    pub fn has_calls(&self) -> bool {
+        self.procedures.iter().any(Procedure::has_calls)
+    }
+
+    /// The total number of control-flow edges.
+    pub fn num_edges(&self) -> usize {
+        self.procedures.iter().map(|p| p.graph.num_edges()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program with {} procedure(s), {} variable(s), {} edge(s)",
+            self.procedures.len(),
+            self.vars.len(),
+            self.num_edges()
+        )
+    }
+}
+
+/// Error produced by [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The source failed to parse.
+    Parse(ParseError),
+    /// A call targets an undefined procedure.
+    UndefinedProcedure(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{}", e),
+            CompileError::UndefinedProcedure(name) => {
+                write!(f, "call to undefined procedure `{}`", name)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+/// Parses and lowers a program in one step.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for syntax errors or calls to undefined
+/// procedures.
+///
+/// # Examples
+///
+/// ```
+/// use compact_lang::compile;
+/// let program = compile("proc main() { while (x > 0) { x := x - 1; } }").unwrap();
+/// assert_eq!(program.procedures.len(), 1);
+/// assert!(!program.has_calls());
+/// ```
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    let ast = parse_source(source)?;
+    lower(&ast)
+}
+
+/// Lowers a parsed program to its control-flow-graph representation.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UndefinedProcedure`] if a call targets a
+/// procedure that is not defined.
+pub fn lower(source: &SourceProgram) -> Result<Program, CompileError> {
+    // Collect the global variable set.
+    let mut vars: BTreeSet<Symbol> = BTreeSet::new();
+    for proc_def in &source.procedures {
+        collect_vars(&proc_def.body, &mut vars);
+    }
+    let vars: Vec<Symbol> = vars.into_iter().collect();
+
+    let names: BTreeSet<&str> = source.procedures.iter().map(|p| p.name.as_str()).collect();
+    let mut procedures = Vec::new();
+    for proc_def in &source.procedures {
+        let mut builder = CfgBuilder::new(&vars);
+        let entry = builder.graph.add_node();
+        let exit = builder.lower_block(&proc_def.body, entry)?;
+        // Validate call targets.
+        for label in &builder.labels {
+            if let EdgeLabel::Call(callee) = label {
+                if !names.contains(callee.as_str()) {
+                    return Err(CompileError::UndefinedProcedure(callee.clone()));
+                }
+            }
+        }
+        procedures.push(Procedure {
+            name: proc_def.name.clone(),
+            graph: builder.graph,
+            entry,
+            exit,
+            labels: builder.labels,
+        });
+    }
+    Ok(Program {
+        vars,
+        procedures,
+        entry: source.entry_name().to_string(),
+    })
+}
+
+fn collect_vars(stmts: &[Stmt], vars: &mut BTreeSet<Symbol>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(x, e) => {
+                vars.insert(Symbol::intern(x));
+                if let Expr::Linear(t) = e {
+                    vars.extend(t.vars().copied());
+                }
+            }
+            Stmt::Assume(f) => vars.extend(f.free_vars()),
+            Stmt::If(c, t, e) => {
+                if let Cond::Formula(f) = c {
+                    vars.extend(f.free_vars());
+                }
+                collect_vars(t, vars);
+                collect_vars(e, vars);
+            }
+            Stmt::While(c, body) => {
+                if let Cond::Formula(f) = c {
+                    vars.extend(f.free_vars());
+                }
+                collect_vars(body, vars);
+            }
+            Stmt::Halt | Stmt::Skip | Stmt::Call(_) => {}
+        }
+    }
+}
+
+struct CfgBuilder<'a> {
+    graph: DiGraph,
+    labels: Vec<EdgeLabel>,
+    vars: &'a [Symbol],
+}
+
+impl<'a> CfgBuilder<'a> {
+    fn new(vars: &'a [Symbol]) -> CfgBuilder<'a> {
+        CfgBuilder { graph: DiGraph::new(), labels: Vec::new(), vars }
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, label: EdgeLabel) {
+        let id = self.graph.add_edge(from, to);
+        debug_assert_eq!(id, self.labels.len());
+        self.labels.push(label);
+    }
+
+    fn transition_edge(&mut self, from: NodeId, to: NodeId, tf: TransitionFormula) {
+        self.add_edge(from, to, EdgeLabel::Transition(tf));
+    }
+
+    fn skip_edge(&mut self, from: NodeId, to: NodeId) {
+        let identity = TransitionFormula::identity(self.vars);
+        self.transition_edge(from, to, identity);
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt], mut current: NodeId) -> Result<NodeId, CompileError> {
+        for stmt in stmts {
+            current = self.lower_stmt(stmt, current)?;
+        }
+        Ok(current)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, current: NodeId) -> Result<NodeId, CompileError> {
+        match stmt {
+            Stmt::Skip => Ok(current),
+            Stmt::Assign(x, expr) => {
+                let next = self.graph.add_node();
+                let sym = Symbol::intern(x);
+                let tf = match expr {
+                    Expr::Linear(t) => TransitionFormula::assign(sym, t.clone(), self.vars),
+                    Expr::Nondet => TransitionFormula::havoc(sym, self.vars),
+                };
+                self.transition_edge(current, next, tf);
+                Ok(next)
+            }
+            Stmt::Assume(f) => {
+                let next = self.graph.add_node();
+                self.transition_edge(
+                    current,
+                    next,
+                    TransitionFormula::assume(f.clone(), self.vars),
+                );
+                Ok(next)
+            }
+            Stmt::Halt => {
+                // A sink with no outgoing edges: the program stops here.
+                let sink = self.graph.add_node();
+                self.skip_edge(current, sink);
+                // Statements after `halt` are unreachable; give them a fresh
+                // start node that nothing points to.
+                Ok(self.graph.add_node())
+            }
+            Stmt::Call(name) => {
+                let next = self.graph.add_node();
+                self.add_edge(current, next, EdgeLabel::Call(name.clone()));
+                Ok(next)
+            }
+            Stmt::If(cond, then_branch, else_branch) => {
+                let then_start = self.graph.add_node();
+                let else_start = self.graph.add_node();
+                self.transition_edge(
+                    current,
+                    then_start,
+                    TransitionFormula::assume(cond.assumed(), self.vars),
+                );
+                self.transition_edge(
+                    current,
+                    else_start,
+                    TransitionFormula::assume(cond.refuted(), self.vars),
+                );
+                let then_end = self.lower_block(then_branch, then_start)?;
+                let else_end = self.lower_block(else_branch, else_start)?;
+                let join = self.graph.add_node();
+                self.skip_edge(then_end, join);
+                self.skip_edge(else_end, join);
+                Ok(join)
+            }
+            Stmt::While(cond, body) => {
+                let head = self.graph.add_node();
+                self.skip_edge(current, head);
+                let body_start = self.graph.add_node();
+                self.transition_edge(
+                    head,
+                    body_start,
+                    TransitionFormula::assume(cond.assumed(), self.vars),
+                );
+                let body_end = self.lower_block(body, body_start)?;
+                self.skip_edge(body_end, head);
+                let after = self.graph.add_node();
+                self.transition_edge(
+                    head,
+                    after,
+                    TransitionFormula::assume(cond.refuted(), self.vars),
+                );
+                Ok(after)
+            }
+        }
+    }
+}
+
+/// Convenience: builds an assumption formula for use in tests.
+pub fn assume_formula(f: Formula, vars: &[Symbol]) -> TransitionFormula {
+    TransitionFormula::assume(f, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::Valuation;
+    use compact_smt::Solver;
+
+    #[test]
+    fn lower_straight_line() {
+        let p = compile("proc main() { x := 1; y := x + 1; }").unwrap();
+        let main = p.entry_procedure();
+        assert_eq!(main.graph.num_edges(), 2);
+        assert_eq!(main.graph.predecessors(main.entry).count(), 0);
+        // Composing the two edges relates x=*, y=* to x=1, y=2.
+        let solver = Solver::new();
+        let t1 = main.label(0).as_transition().unwrap();
+        let t2 = main.label(1).as_transition().unwrap();
+        let both = t1.compose(t2);
+        let pre: Valuation = [
+            (Symbol::intern("x"), 7.into()),
+            (Symbol::intern("y"), 7.into()),
+        ]
+        .into_iter()
+        .collect();
+        let post: Valuation = [
+            (Symbol::intern("x"), 1.into()),
+            (Symbol::intern("y"), 2.into()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(both.accepts(&solver, &pre, &post));
+    }
+
+    #[test]
+    fn lower_while_loop_shape() {
+        let p = compile("proc main() { while (x > 0) { x := x - 1; } }").unwrap();
+        let main = p.entry_procedure();
+        // Entry has no incoming edges even though the program starts with a
+        // loop.
+        assert_eq!(main.graph.predecessors(main.entry).count(), 0);
+        // There is a cycle (the loop) reachable from the entry.
+        let reach = main.graph.reachable_from(main.entry);
+        assert!(reach.len() >= 3);
+        // The exit is reachable.
+        assert!(reach.contains(&main.exit));
+    }
+
+    #[test]
+    fn lower_if_and_halt() {
+        let p = compile(
+            "proc main() { if (x < 0) { halt; } else { x := x - 1; } y := 0; }",
+        )
+        .unwrap();
+        let main = p.entry_procedure();
+        assert!(main.graph.num_edges() >= 5);
+        // No call edges.
+        assert!(!main.has_calls());
+    }
+
+    #[test]
+    fn lower_calls() {
+        let p = compile(
+            "proc main() { call helper(); } proc helper() { x := 0; }",
+        )
+        .unwrap();
+        assert!(p.has_calls());
+        let main = p.entry_procedure();
+        assert_eq!(main.callees(), ["helper".to_string()].into_iter().collect());
+        assert!(p.procedure("helper").is_some());
+    }
+
+    #[test]
+    fn undefined_procedure_is_rejected() {
+        let err = compile("proc main() { call nothere(); }").unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::UndefinedProcedure("nothere".to_string())
+        );
+    }
+
+    #[test]
+    fn variables_are_collected_globally() {
+        let p = compile(
+            "proc main() { a := b + 1; call aux(); } proc aux() { c := a; }",
+        )
+        .unwrap();
+        let names: Vec<String> = p.vars.iter().map(|v| v.name()).collect();
+        assert!(names.contains(&"a".to_string()));
+        assert!(names.contains(&"b".to_string()));
+        assert!(names.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn nondet_condition_takes_both_branches() {
+        let p = compile("proc main() { if (*) { x := 1; } else { x := 2; } }").unwrap();
+        let main = p.entry_procedure();
+        let solver = Solver::new();
+        // Both branch assumptions are satisfiable from any state.
+        let branch_edges: Vec<&TransitionFormula> = main
+            .graph
+            .successors(main.entry)
+            .map(|(e, _)| main.label(e).as_transition().unwrap())
+            .collect();
+        assert_eq!(branch_edges.len(), 2);
+        for t in branch_edges {
+            assert!(!t.is_empty(&solver));
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! Lexer and parser for the mini imperative language.
+
+use crate::ast::{Cond, Expr, ProcDef, SourceProgram, Stmt};
+use compact_arith::Int;
+use compact_logic::{Formula, Symbol, Term};
+use std::fmt;
+
+/// Error produced when parsing a program fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line number (1-based) where the problem was detected.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a program of the mini language.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use compact_lang::parse_source;
+/// let program = parse_source("proc main() { x := 0; while (x < 10) { x := x + 1; } }").unwrap();
+/// assert_eq!(program.procedures.len(), 1);
+/// ```
+pub fn parse_source(input: &str) -> Result<SourceProgram, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut procedures = Vec::new();
+    while !parser.at_end() {
+        procedures.push(parser.procedure()?);
+    }
+    if procedures.is_empty() {
+        return Err(ParseError { message: "program has no procedures".into(), line: 1 });
+    }
+    Ok(SourceProgram { procedures })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(Int),
+    Assign,   // :=
+    Semi,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Plus,
+    Minus,
+    Star,
+    AndAnd,
+    OrOr,
+    Not,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Neq,
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |(_, l)| *l)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}", what)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(name),
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn procedure(&mut self) -> Result<ProcDef, ParseError> {
+        if !self.eat_keyword("proc") {
+            return Err(self.error("expected `proc`"));
+        }
+        let name = self.expect_ident()?;
+        self.expect(Tok::LParen, "`(`")?;
+        self.expect(Tok::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(ProcDef { name, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.error("unexpected end of input in block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_keyword("while") {
+            self.expect(Tok::LParen, "`(`")?;
+            let cond = self.condition()?;
+            self.expect(Tok::RParen, "`)`")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_keyword("if") {
+            self.expect(Tok::LParen, "`(`")?;
+            let cond = self.condition()?;
+            self.expect(Tok::RParen, "`)`")?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then_branch, else_branch));
+        }
+        if self.eat_keyword("assume") {
+            self.expect(Tok::LParen, "`(`")?;
+            let cond = self.formula()?;
+            self.expect(Tok::RParen, "`)`")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Assume(cond));
+        }
+        if self.eat_keyword("halt") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Halt);
+        }
+        if self.eat_keyword("skip") {
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Skip);
+        }
+        if self.eat_keyword("call") {
+            let name = self.expect_ident()?;
+            self.expect(Tok::LParen, "`(`")?;
+            self.expect(Tok::RParen, "`)`")?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Call(name));
+        }
+        if self.eat_keyword("havoc") {
+            let name = self.expect_ident()?;
+            self.expect(Tok::Semi, "`;`")?;
+            return Ok(Stmt::Assign(name, Expr::Nondet));
+        }
+        // Assignment.
+        let name = self.expect_ident()?;
+        self.expect(Tok::Assign, "`:=`")?;
+        let expr = self.expression()?;
+        self.expect(Tok::Semi, "`;`")?;
+        Ok(Stmt::Assign(name, expr))
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_keyword("nondet") {
+            self.expect(Tok::LParen, "`(`")?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(Expr::Nondet);
+        }
+        if self.peek() == Some(&Tok::Star) {
+            self.bump();
+            return Ok(Expr::Nondet);
+        }
+        Ok(Expr::Linear(self.term()?))
+    }
+
+    fn condition(&mut self) -> Result<Cond, ParseError> {
+        if self.peek() == Some(&Tok::Star) {
+            self.bump();
+            return Ok(Cond::Nondet);
+        }
+        Ok(Cond::Formula(self.formula()?))
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and_formula()?];
+        while self.eat(&Tok::OrOr) {
+            parts.push(self.and_formula()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary_formula()?];
+        while self.eat(&Tok::AndAnd) {
+            parts.push(self.unary_formula()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary_formula(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Formula::not(self.unary_formula()?))
+            }
+            Some(Tok::Ident(name)) if name == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(name)) if name == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::LParen) => {
+                // Try a parenthesized formula, falling back to a term
+                // comparison on failure.
+                let save = self.pos;
+                self.bump();
+                if let Ok(f) = self.formula() {
+                    if self.eat(&Tok::RParen)
+                        && !matches!(
+                            self.peek(),
+                            Some(Tok::Le | Tok::Lt | Tok::Ge | Tok::Gt | Tok::EqEq | Tok::Neq)
+                        )
+                    {
+                        return Ok(f);
+                    }
+                }
+                self.pos = save;
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.term()?;
+        let op = self
+            .bump()
+            .ok_or_else(|| self.error("expected comparison operator"))?;
+        let rhs = self.term()?;
+        match op {
+            Tok::Le => Ok(Formula::le(lhs, rhs)),
+            Tok::Lt => Ok(Formula::lt(lhs, rhs)),
+            Tok::Ge => Ok(Formula::ge(lhs, rhs)),
+            Tok::Gt => Ok(Formula::gt(lhs, rhs)),
+            Tok::EqEq => Ok(Formula::eq(lhs, rhs)),
+            Tok::Neq => Ok(Formula::neq(lhs, rhs)),
+            _ => Err(self.error("expected comparison operator")),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.product()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                acc = acc + self.product()?;
+            } else if self.eat(&Tok::Minus) {
+                acc = acc - self.product()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn product(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.factor()?;
+        while self.eat(&Tok::Star) {
+            let rhs = self.factor()?;
+            acc = if acc.is_constant() {
+                rhs.scale(acc.constant_part().clone())
+            } else if rhs.is_constant() {
+                acc.scale(rhs.constant_part().clone())
+            } else {
+                return Err(self.error("non-linear multiplication"));
+            };
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Term::constant(n)),
+            Some(Tok::Ident(name)) => Ok(Term::var(Symbol::intern(&name))),
+            Some(Tok::Minus) => Ok(-self.factor()?),
+            Some(Tok::LParen) => {
+                let t = self.term()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(t)
+            }
+            _ => Err(self.error("expected integer expression")),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: Int = input[i..j]
+                    .parse()
+                    .map_err(|_| ParseError { message: "bad integer literal".into(), line })?;
+                toks.push((Tok::Int(n), line));
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                toks.push((Tok::Ident(input[i..j].to_string()), line));
+                i = j;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push((Tok::Assign, line));
+                i += 2;
+            }
+            ';' => {
+                toks.push((Tok::Semi, line));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            '{' => {
+                toks.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, line));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, line));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, line));
+                i += 1;
+            }
+            '&' if i + 1 < bytes.len() && bytes[i + 1] == b'&' => {
+                toks.push((Tok::AndAnd, line));
+                i += 2;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                toks.push((Tok::OrOr, line));
+                i += 2;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Neq, line));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Not, line));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Le, line));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, line));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Ge, line));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, line));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::EqEq, line));
+                    i += 2;
+                } else {
+                    toks.push((Tok::EqEq, line));
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{}`", other),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure1_program() {
+        let src = r#"
+            // The program of Figure 1.
+            proc main() {
+                step := 8;
+                while (true) {
+                    m := 0;
+                    while (m < step) {
+                        if (n < 0) { halt; } else { m := m + 1; n := n - 1; }
+                    }
+                }
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.procedures.len(), 1);
+        assert_eq!(p.entry_name(), "main");
+        assert_eq!(p.procedures[0].body.len(), 2);
+        match &p.procedures[0].body[1] {
+            Stmt::While(Cond::Formula(f), body) => {
+                assert!(f.is_true());
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected while, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_procedures_and_calls() {
+        let src = r#"
+            proc main() { g := n; call fib(); }
+            proc fib() {
+                if (g <= 1) { r := 1; } else {
+                    g := g - 1;
+                    call fib();
+                    t := r;
+                    g := g - 1;
+                    call fib();
+                    r := r + t;
+                }
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.procedures.len(), 2);
+        assert!(p.procedure("fib").is_some());
+        assert!(p.procedure("nope").is_none());
+    }
+
+    #[test]
+    fn parse_nondet_and_havoc() {
+        let src = r#"
+            proc main() {
+                havoc x;
+                y := nondet();
+                if (*) { z := 1; }
+                while (x > 0 && y != 3) { x := x - 1; }
+            }
+        "#;
+        let p = parse_source(src).unwrap();
+        let body = &p.procedures[0].body;
+        assert_eq!(body[0], Stmt::Assign("x".into(), Expr::Nondet));
+        assert_eq!(body[1], Stmt::Assign("y".into(), Expr::Nondet));
+        match &body[2] {
+            Stmt::If(Cond::Nondet, t, e) => {
+                assert_eq!(t.len(), 1);
+                assert!(e.is_empty());
+            }
+            other => panic!("expected nondet if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parse_assume_skip() {
+        let src = "proc main() { assume(x >= 0); skip; }";
+        let p = parse_source(src).unwrap();
+        assert_eq!(p.procedures[0].body.len(), 2);
+    }
+
+    #[test]
+    fn reject_syntax_errors() {
+        assert!(parse_source("").is_err());
+        assert!(parse_source("proc main() { x := ; }").is_err());
+        assert!(parse_source("proc main() { x = 3; }").is_err());
+        assert!(parse_source("proc main() { while x < 3 { } }").is_err());
+        assert!(parse_source("main() { }").is_err());
+        let err = parse_source("proc main() {\n x := @;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

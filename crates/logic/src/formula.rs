@@ -1,0 +1,835 @@
+//! Linear integer arithmetic formulas.
+
+use crate::{Symbol, Term, Valuation};
+use compact_arith::Int;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An atomic LIA constraint, kept in a normalized form where the right-hand
+/// side is always zero.
+///
+/// Strict inequalities over the integers are normalized away at construction
+/// (`t < 0` becomes `t + 1 <= 0`), so only the variants below remain.
+/// Divisibility atoms appear during Cooper quantifier elimination.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Atom {
+    /// `term <= 0`
+    Le(Term),
+    /// `term = 0`
+    Eq(Term),
+    /// `term ≠ 0`
+    Neq(Term),
+    /// `n` divides `term` (with `n > 0`)
+    Divides(Int, Term),
+    /// `n` does not divide `term` (with `n > 0`)
+    NotDivides(Int, Term),
+}
+
+impl Atom {
+    /// The negation of this atom, as an atom.
+    pub fn negate(&self) -> Atom {
+        match self {
+            // ¬(t <= 0)  ⇔  t >= 1  ⇔  1 - t <= 0
+            Atom::Le(t) => Atom::Le(Term::constant(1) - t.clone()),
+            Atom::Eq(t) => Atom::Neq(t.clone()),
+            Atom::Neq(t) => Atom::Eq(t.clone()),
+            Atom::Divides(n, t) => Atom::NotDivides(n.clone(), t.clone()),
+            Atom::NotDivides(n, t) => Atom::Divides(n.clone(), t.clone()),
+        }
+    }
+
+    /// The term of the atom.
+    pub fn term(&self) -> &Term {
+        match self {
+            Atom::Le(t) | Atom::Eq(t) | Atom::Neq(t) | Atom::Divides(_, t) | Atom::NotDivides(_, t) => t,
+        }
+    }
+
+    /// Applies a function to the term of the atom.
+    pub fn map_term(&self, f: impl FnOnce(&Term) -> Term) -> Atom {
+        match self {
+            Atom::Le(t) => Atom::Le(f(t)),
+            Atom::Eq(t) => Atom::Eq(f(t)),
+            Atom::Neq(t) => Atom::Neq(f(t)),
+            Atom::Divides(n, t) => Atom::Divides(n.clone(), f(t)),
+            Atom::NotDivides(n, t) => Atom::NotDivides(n.clone(), f(t)),
+        }
+    }
+
+    /// Evaluates the atom under a (total) valuation.
+    pub fn eval(&self, v: &Valuation) -> Option<bool> {
+        match self {
+            Atom::Le(t) => Some(!t.eval(v)?.is_positive()),
+            Atom::Eq(t) => Some(t.eval(v)?.is_zero()),
+            Atom::Neq(t) => Some(!t.eval(v)?.is_zero()),
+            Atom::Divides(n, t) => Some(t.eval(v)?.rem_euclid(n).is_zero()),
+            Atom::NotDivides(n, t) => Some(!t.eval(v)?.rem_euclid(n).is_zero()),
+        }
+    }
+
+    /// If the atom has a constant truth value, return it.
+    pub fn constant_value(&self) -> Option<bool> {
+        if !self.term().is_constant() {
+            return None;
+        }
+        self.eval(&Valuation::new())
+    }
+
+    /// The variables occurring in the atom.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        self.term().vars().copied().collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Le(t) => write!(f, "{} <= 0", t),
+            Atom::Eq(t) => write!(f, "{} = 0", t),
+            Atom::Neq(t) => write!(f, "{} != 0", t),
+            Atom::Divides(n, t) => write!(f, "{} | {}", n, t),
+            Atom::NotDivides(n, t) => write!(f, "!({} | {})", n, t),
+        }
+    }
+}
+
+/// A formula of linear integer arithmetic (§3.2 of the paper).
+///
+/// Use the associated constructor functions ([`Formula::le`],
+/// [`Formula::and`], [`Formula::exists`], …) rather than building variants
+/// directly: the constructors perform light normalization (flattening,
+/// constant folding, unit absorption) that keeps formulas small.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::{Formula, Term, Symbol};
+/// let x = Term::var(Symbol::intern("x"));
+/// let f = Formula::and(vec![
+///     Formula::le(Term::constant(0), x.clone()),
+///     Formula::lt(x, Term::constant(10)),
+/// ]);
+/// assert!(f.is_quantifier_free());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The formula `true`.
+    True,
+    /// The formula `false`.
+    False,
+    /// An atomic constraint.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Symbol>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Symbol>, Box<Formula>),
+}
+
+impl Formula {
+    /// The formula `true`.
+    pub fn tru() -> Formula {
+        Formula::True
+    }
+
+    /// The formula `false`.
+    pub fn fls() -> Formula {
+        Formula::False
+    }
+
+    /// Builds an atom, constant-folding if the term is constant.
+    pub fn atom(atom: Atom) -> Formula {
+        match atom.constant_value() {
+            Some(true) => Formula::True,
+            Some(false) => Formula::False,
+            None => Formula::Atom(atom),
+        }
+    }
+
+    /// `t1 <= t2`
+    pub fn le(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::atom(Atom::Le(t1.into() - t2.into()))
+    }
+
+    /// `t1 < t2`
+    pub fn lt(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::atom(Atom::Le(t1.into() - t2.into() + 1))
+    }
+
+    /// `t1 >= t2`
+    pub fn ge(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::le(t2, t1)
+    }
+
+    /// `t1 > t2`
+    pub fn gt(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::lt(t2, t1)
+    }
+
+    /// `t1 = t2`
+    pub fn eq(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::atom(Atom::Eq(t1.into() - t2.into()))
+    }
+
+    /// `t1 ≠ t2`
+    pub fn neq(t1: impl Into<Term>, t2: impl Into<Term>) -> Formula {
+        Formula::atom(Atom::Neq(t1.into() - t2.into()))
+    }
+
+    /// `n | t` (divisibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not positive.
+    pub fn divides(n: impl Into<Int>, t: impl Into<Term>) -> Formula {
+        let n = n.into();
+        assert!(n.is_positive(), "divisibility modulus must be positive");
+        if n.is_one() {
+            return Formula::True;
+        }
+        Formula::atom(Atom::Divides(n, t.into()))
+    }
+
+    /// n-ary conjunction with unit/zero absorption and flattening.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut flat: Vec<Formula> = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        // Deduplicate while preserving order.
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for p in flat {
+            if !seen.contains(&p) {
+                seen.push(p.clone());
+                out.push(p);
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.into_iter().next().expect("length checked"),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// n-ary disjunction with unit/zero absorption and flattening.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        let mut flat: Vec<Formula> = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        for p in flat {
+            if !seen.contains(&p) {
+                seen.push(p.clone());
+                out.push(p);
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.into_iter().next().expect("length checked"),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation (with double-negation and constant elimination).
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            Formula::Atom(a) => Formula::atom(a.negate()),
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication `p ⇒ q`.
+    pub fn implies(p: Formula, q: Formula) -> Formula {
+        Formula::or(vec![Formula::not(p), q])
+    }
+
+    /// Bi-implication `p ⇔ q`.
+    pub fn iff(p: Formula, q: Formula) -> Formula {
+        Formula::and(vec![
+            Formula::implies(p.clone(), q.clone()),
+            Formula::implies(q, p),
+        ])
+    }
+
+    /// Existential quantification (dropping variables that do not occur).
+    pub fn exists(vars: Vec<Symbol>, body: Formula) -> Formula {
+        let free = body.free_vars();
+        let vars: Vec<Symbol> = vars.into_iter().filter(|v| free.contains(v)).collect();
+        if vars.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Exists(mut inner_vars, inner_body) => {
+                let mut all = vars;
+                all.append(&mut inner_vars);
+                Formula::Exists(all, inner_body)
+            }
+            other => Formula::Exists(vars, Box::new(other)),
+        }
+    }
+
+    /// Universal quantification (dropping variables that do not occur).
+    pub fn forall(vars: Vec<Symbol>, body: Formula) -> Formula {
+        let free = body.free_vars();
+        let vars: Vec<Symbol> = vars.into_iter().filter(|v| free.contains(v)).collect();
+        if vars.is_empty() {
+            return body;
+        }
+        match body {
+            Formula::Forall(mut inner_vars, inner_body) => {
+                let mut all = vars;
+                all.append(&mut inner_vars);
+                Formula::Forall(all, inner_body)
+            }
+            other => Formula::Forall(vars, Box::new(other)),
+        }
+    }
+
+    /// Returns the conjuncts of a conjunction (or a singleton for other
+    /// formulas, and nothing for `true`).
+    pub fn conjuncts(&self) -> Vec<&Formula> {
+        match self {
+            Formula::True => Vec::new(),
+            Formula::And(parts) => parts.iter().collect(),
+            other => vec![other],
+        }
+    }
+
+    /// Returns the disjuncts of a disjunction (or a singleton for other
+    /// formulas, and nothing for `false`).
+    pub fn disjuncts(&self) -> Vec<&Formula> {
+        match self {
+            Formula::False => Vec::new(),
+            Formula::Or(parts) => parts.iter().collect(),
+            other => vec![other],
+        }
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Symbol>, out: &mut BTreeSet<Symbol>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                for v in a.term().vars() {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.collect_free_vars(bound, out);
+                }
+            }
+            Formula::Not(inner) => inner.collect_free_vars(bound, out),
+            Formula::Exists(vars, body) | Formula::Forall(vars, body) => {
+                let n = bound.len();
+                bound.extend(vars.iter().copied());
+                body.collect_free_vars(bound, out);
+                bound.truncate(n);
+            }
+        }
+    }
+
+    /// Returns `true` if the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => true,
+            Formula::And(parts) | Formula::Or(parts) => {
+                parts.iter().all(Formula::is_quantifier_free)
+            }
+            Formula::Not(inner) => inner.is_quantifier_free(),
+            Formula::Exists(..) | Formula::Forall(..) => false,
+        }
+    }
+
+    /// The number of nodes in the formula (a rough size measure).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::And(parts) | Formula::Or(parts) => {
+                1 + parts.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Not(inner) => 1 + inner.size(),
+            Formula::Exists(_, body) | Formula::Forall(_, body) => 1 + body.size(),
+        }
+    }
+
+    /// Collects all atoms of the formula (under quantifiers too).
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => out.push(a),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    p.collect_atoms(out);
+                }
+            }
+            Formula::Not(inner) => inner.collect_atoms(out),
+            Formula::Exists(_, body) | Formula::Forall(_, body) => body.collect_atoms(out),
+        }
+    }
+
+    /// Simultaneous, capture-avoiding substitution of variables by terms.
+    pub fn substitute(&self, map: &BTreeMap<Symbol, Term>) -> Formula {
+        if map.is_empty() {
+            return self.clone();
+        }
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::atom(a.map_term(|t| t.substitute(map))),
+            Formula::And(parts) => {
+                Formula::and(parts.iter().map(|p| p.substitute(map)).collect())
+            }
+            Formula::Or(parts) => {
+                Formula::or(parts.iter().map(|p| p.substitute(map)).collect())
+            }
+            Formula::Not(inner) => Formula::not(inner.substitute(map)),
+            Formula::Exists(vars, body) => {
+                let (vars, body, map) = Self::avoid_capture(vars, body, map);
+                Formula::exists(vars, body.substitute(&map))
+            }
+            Formula::Forall(vars, body) => {
+                let (vars, body, map) = Self::avoid_capture(vars, body, map);
+                Formula::forall(vars, body.substitute(&map))
+            }
+        }
+    }
+
+    /// Prepares a quantified body for substitution: drops mappings of bound
+    /// variables and renames bound variables that would capture free
+    /// variables of the substituted terms.
+    fn avoid_capture(
+        vars: &[Symbol],
+        body: &Formula,
+        map: &BTreeMap<Symbol, Term>,
+    ) -> (Vec<Symbol>, Formula, BTreeMap<Symbol, Term>) {
+        // Restrict the substitution to variables that are not bound here.
+        let mut restricted: BTreeMap<Symbol, Term> = map
+            .iter()
+            .filter(|(k, _)| !vars.contains(k))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        // Find bound variables that occur free in a substituted term.
+        let mut term_vars: BTreeSet<Symbol> = BTreeSet::new();
+        for t in restricted.values() {
+            term_vars.extend(t.vars().copied());
+        }
+        let mut new_vars = Vec::with_capacity(vars.len());
+        let mut body = body.clone();
+        for v in vars {
+            if term_vars.contains(v) {
+                let fresh = Symbol::fresh(&v.name());
+                let mut rename = BTreeMap::new();
+                rename.insert(*v, Term::var(fresh));
+                body = body.substitute(&rename);
+                new_vars.push(fresh);
+            } else {
+                new_vars.push(*v);
+            }
+        }
+        // Renaming may have introduced occurrences of fresh variables; they
+        // cannot collide with the substitution domain, so `restricted` is
+        // still correct.
+        restricted.retain(|k, _| !new_vars.contains(k));
+        (new_vars, body, restricted)
+    }
+
+    /// Renames free variables according to a map.
+    pub fn rename(&self, map: &BTreeMap<Symbol, Symbol>) -> Formula {
+        let term_map: BTreeMap<Symbol, Term> =
+            map.iter().map(|(k, v)| (*k, Term::var(*v))).collect();
+        self.substitute(&term_map)
+    }
+
+    /// Evaluates a quantifier-free formula under a valuation.
+    ///
+    /// Returns `None` if the formula contains quantifiers or mentions an
+    /// unassigned variable.
+    pub fn eval(&self, v: &Valuation) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            Formula::Atom(a) => a.eval(v),
+            Formula::And(parts) => {
+                for p in parts {
+                    if !p.eval(v)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            Formula::Or(parts) => {
+                for p in parts {
+                    if p.eval(v)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            Formula::Not(inner) => Some(!inner.eval(v)?),
+            Formula::Exists(..) | Formula::Forall(..) => None,
+        }
+    }
+
+    /// Converts the formula to negation normal form: negations occur only
+    /// inside atoms, and `Not` nodes are eliminated.
+    pub fn nnf(&self) -> Formula {
+        self.nnf_aux(false)
+    }
+
+    fn nnf_aux(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Atom(a) => {
+                if negate {
+                    Formula::atom(a.negate())
+                } else {
+                    Formula::Atom(a.clone())
+                }
+            }
+            Formula::And(parts) => {
+                let converted: Vec<Formula> = parts.iter().map(|p| p.nnf_aux(negate)).collect();
+                if negate {
+                    Formula::or(converted)
+                } else {
+                    Formula::and(converted)
+                }
+            }
+            Formula::Or(parts) => {
+                let converted: Vec<Formula> = parts.iter().map(|p| p.nnf_aux(negate)).collect();
+                if negate {
+                    Formula::and(converted)
+                } else {
+                    Formula::or(converted)
+                }
+            }
+            Formula::Not(inner) => inner.nnf_aux(!negate),
+            Formula::Exists(vars, body) => {
+                let body = body.nnf_aux(negate);
+                if negate {
+                    Formula::forall(vars.clone(), body)
+                } else {
+                    Formula::exists(vars.clone(), body)
+                }
+            }
+            Formula::Forall(vars, body) => {
+                let body = body.nnf_aux(negate);
+                if negate {
+                    Formula::exists(vars.clone(), body)
+                } else {
+                    Formula::forall(vars.clone(), body)
+                }
+            }
+        }
+    }
+
+    /// Recursively re-applies the smart constructors, which flattens nested
+    /// connectives, folds constant atoms and removes duplicates.
+    pub fn simplify(&self) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::atom(a.clone()),
+            Formula::And(parts) => Formula::and(parts.iter().map(Formula::simplify).collect()),
+            Formula::Or(parts) => Formula::or(parts.iter().map(Formula::simplify).collect()),
+            Formula::Not(inner) => Formula::not(inner.simplify()),
+            Formula::Exists(vars, body) => Formula::exists(vars.clone(), body.simplify()),
+            Formula::Forall(vars, body) => Formula::forall(vars.clone(), body.simplify()),
+        }
+    }
+
+    /// Returns `true` if the formula is syntactically `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Formula::True)
+    }
+
+    /// Returns `true` if the formula is syntactically `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Formula::False)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{}", a),
+            Formula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{}", p)?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{}", p)?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(inner) => write!(f, "!({})", inner),
+            Formula::Exists(vars, body) => {
+                write!(f, "(exists ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, ". {})", body)
+            }
+            Formula::Forall(vars, body) => {
+                write!(f, "(forall ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v)?;
+                }
+                write!(f, ". {})", body)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn var(s: &str) -> Term {
+        Term::var(sym(s))
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert!(Formula::le(Term::constant(1), Term::constant(2)).is_true());
+        assert!(Formula::lt(Term::constant(2), Term::constant(2)).is_false());
+        assert!(Formula::eq(Term::constant(3), Term::constant(3)).is_true());
+        assert!(Formula::divides(3, Term::constant(9)).is_true());
+        assert!(Formula::divides(3, Term::constant(10)).is_false());
+        assert!(Formula::divides(1, var("x")).is_true());
+    }
+
+    #[test]
+    fn and_or_absorption() {
+        let a = Formula::le(var("x"), Term::constant(0));
+        assert_eq!(Formula::and(vec![Formula::True, a.clone()]), a);
+        assert!(Formula::and(vec![Formula::False, a.clone()]).is_false());
+        assert_eq!(Formula::or(vec![Formula::False, a.clone()]), a);
+        assert!(Formula::or(vec![Formula::True, a.clone()]).is_true());
+        assert!(Formula::and(vec![]).is_true());
+        assert!(Formula::or(vec![]).is_false());
+        // Flattening and dedup.
+        let nested = Formula::and(vec![
+            Formula::and(vec![a.clone(), a.clone()]),
+            a.clone(),
+        ]);
+        assert_eq!(nested, a);
+    }
+
+    #[test]
+    fn negation_of_atoms() {
+        // !(x <= 0) is x >= 1
+        let f = Formula::not(Formula::le(var("x"), Term::constant(0)));
+        let mut v = Valuation::new();
+        v.set(sym("x"), 1.into());
+        assert_eq!(f.eval(&v), Some(true));
+        v.set(sym("x"), 0.into());
+        assert_eq!(f.eval(&v), Some(false));
+        // Double negation cancels.
+        let g = Formula::not(Formula::not(f.clone()));
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn free_vars_and_quantifiers() {
+        let body = Formula::eq(var("x"), var("y"));
+        let f = Formula::exists(vec![sym("x")], body.clone());
+        assert_eq!(f.free_vars(), [sym("y")].into_iter().collect());
+        assert!(!f.is_quantifier_free());
+        assert!(body.is_quantifier_free());
+        // Quantifying a variable that does not occur is a no-op.
+        let g = Formula::exists(vec![sym("z")], body.clone());
+        assert_eq!(g, body);
+        // Nested existentials merge.
+        let h = Formula::exists(vec![sym("y")], f.clone());
+        match h {
+            Formula::Exists(vars, _) => assert_eq!(vars.len(), 2),
+            other => panic!("expected exists, got {}", other),
+        }
+    }
+
+    #[test]
+    fn substitution_capture_avoidance() {
+        // (exists x. x <= y)[y -> x] must not capture x.
+        let f = Formula::exists(vec![sym("x")], Formula::le(var("x"), var("y")));
+        let mut map = BTreeMap::new();
+        map.insert(sym("y"), var("x"));
+        let g = f.substitute(&map);
+        // The substituted formula says "exists fresh. fresh <= x", which is
+        // satisfiable for every x; crucially the free variable must be x and
+        // the bound variable must NOT be x.
+        assert_eq!(g.free_vars(), [sym("x")].into_iter().collect());
+        match g {
+            Formula::Exists(vars, body) => {
+                assert_eq!(vars.len(), 1);
+                assert_ne!(vars[0], sym("x"));
+                assert!(body.free_vars().contains(&sym("x")));
+            }
+            other => panic!("expected exists, got {}", other),
+        }
+    }
+
+    #[test]
+    fn evaluation() {
+        let f = Formula::and(vec![
+            Formula::le(Term::constant(0), var("x")),
+            Formula::lt(var("x"), Term::constant(10)),
+            Formula::divides(2, var("x")),
+        ]);
+        let mut v = Valuation::new();
+        v.set(sym("x"), 4.into());
+        assert_eq!(f.eval(&v), Some(true));
+        v.set(sym("x"), 5.into());
+        assert_eq!(f.eval(&v), Some(false));
+        v.set(sym("x"), (-2).into());
+        assert_eq!(f.eval(&v), Some(false));
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let f = Formula::not(Formula::and(vec![
+            Formula::le(var("x"), Term::constant(0)),
+            Formula::exists(vec![sym("y")], Formula::eq(var("y"), var("x"))),
+        ]));
+        let g = f.nnf();
+        // NNF of a negated conjunction is a disjunction.
+        match &g {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                // The negated existential becomes a universal.
+                assert!(parts.iter().any(|p| matches!(p, Formula::Forall(..))));
+            }
+            other => panic!("expected or, got {}", other),
+        }
+        // NNF has no Not nodes.
+        fn no_nots(f: &Formula) -> bool {
+            match f {
+                Formula::Not(_) => false,
+                Formula::And(ps) | Formula::Or(ps) => ps.iter().all(no_nots),
+                Formula::Exists(_, b) | Formula::Forall(_, b) => no_nots(b),
+                _ => true,
+            }
+        }
+        assert!(no_nots(&g));
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_on_ground_formulas() {
+        let cases = vec![
+            Formula::not(Formula::or(vec![
+                Formula::le(var("a"), Term::constant(3)),
+                Formula::eq(var("b"), Term::constant(0)),
+            ])),
+            Formula::implies(
+                Formula::lt(var("a"), var("b")),
+                Formula::neq(var("a"), var("b")),
+            ),
+        ];
+        for f in cases {
+            let g = f.nnf();
+            for a in -2i64..3 {
+                for b in -2i64..3 {
+                    let mut v = Valuation::new();
+                    v.set(sym("a"), a.into());
+                    v.set(sym("b"), b.into());
+                    assert_eq!(f.eval(&v), g.eval(&v), "mismatch on {} vs {}", f, g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrip_sanity() {
+        let f = Formula::and(vec![
+            Formula::le(var("x"), var("y")),
+            Formula::or(vec![
+                Formula::eq(var("z"), Term::constant(1)),
+                Formula::not(Formula::divides(3, var("x"))),
+            ]),
+        ]);
+        let s = f.to_string();
+        assert!(s.contains("&&"));
+        assert!(s.contains("||"));
+    }
+
+    #[test]
+    fn size_and_atoms() {
+        let f = Formula::and(vec![
+            Formula::le(var("x"), Term::constant(0)),
+            Formula::ge(var("y"), Term::constant(2)),
+        ]);
+        assert_eq!(f.atoms().len(), 2);
+        assert!(f.size() >= 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Linear integer arithmetic (LIA) syntax for the ComPACT termination
+//! analyzer.
+//!
+//! This crate defines the logical language of §3.2 of *"Termination Analysis
+//! without the Tears"*:
+//!
+//! * [`Symbol`] — interned variable names (with the `x` / `x'` priming
+//!   convention used for transition formulas);
+//! * [`Term`] — linear terms `c + Σ aᵢ·xᵢ`, kept in normal form;
+//! * [`Atom`] / [`Formula`] — LIA formulas with conjunction, disjunction,
+//!   negation and quantifiers, plus divisibility atoms (needed by Cooper
+//!   quantifier elimination);
+//! * [`Valuation`] — integer assignments used as program states and
+//!   transitions;
+//! * [`parse_formula`] / [`parse_term`] — a small concrete syntax used by
+//!   tests and benchmark definitions.
+//!
+//! Satisfiability, validity and quantifier elimination live in `compact-smt`;
+//! this crate is purely syntactic (construction, substitution, evaluation,
+//! normal forms).
+
+#![warn(missing_docs)]
+
+mod formula;
+mod parser;
+mod symbol;
+mod term;
+mod valuation;
+
+pub use formula::{Atom, Formula};
+pub use parser::{parse_formula, parse_term, ParseError};
+pub use symbol::Symbol;
+pub use term::Term;
+pub use valuation::Valuation;

@@ -1,0 +1,512 @@
+//! A small parser for LIA formulas, used by tests, examples and benchmark
+//! definitions.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! formula := or ( "->" formula )?                 (implication, right assoc.)
+//! or      := and ( "||" and )*
+//! and     := unary ( "&&" unary )*
+//! unary   := "!" unary
+//!          | "exists" ident+ "." formula
+//!          | "forall" ident+ "." formula
+//!          | "true" | "false"
+//!          | term relop term
+//!          | integer "|" term                      (divisibility)
+//!          | "(" formula ")"
+//! relop   := "<=" | "<" | ">=" | ">" | "==" | "=" | "!="
+//! term    := product ( ("+"|"-") product )*
+//! product := factor ( "*" factor )*                (must stay linear)
+//! factor  := integer | ident | "-" factor | "(" term ")"
+//! ```
+
+use crate::{Formula, Symbol, Term};
+use compact_arith::Int;
+use std::fmt;
+
+/// Error produced when parsing a formula or term fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an LIA formula from its textual representation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed formula or the
+/// arithmetic is non-linear.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::parse_formula;
+/// let f = parse_formula("x >= 0 && exists k. x = 2*k").unwrap();
+/// assert_eq!(f.free_vars().len(), 1);
+/// ```
+pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
+    let mut parser = Parser::new(input)?;
+    let f = parser.formula()?;
+    parser.expect_end()?;
+    Ok(f)
+}
+
+/// Parses a linear term from its textual representation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed linear term.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let mut parser = Parser::new(input)?;
+    let t = parser.term()?;
+    parser.expect_end()?;
+    Ok(t)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Int(Int),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    AndAnd,
+    OrOr,
+    Not,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    EqEq,
+    Neq,
+    Arrow,
+    Dot,
+    Bar,
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        let toks = tokenize(input)?;
+        Ok(Parser { toks, pos: 0, len: input.len() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.len, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}", what)))
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input".to_string()))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, position: self.here() }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or_formula()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.formula()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and_formula()?];
+        while self.eat(&Tok::OrOr) {
+            parts.push(self.and_formula()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary_formula()?];
+        while self.eat(&Tok::AndAnd) {
+            parts.push(self.unary_formula()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary_formula(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Formula::not(self.unary_formula()?))
+            }
+            Some(Tok::Ident(name)) if name == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::Ident(name)) if name == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::Ident(name)) if name == "exists" || name == "forall" => {
+                let is_exists = name == "exists";
+                self.bump();
+                let mut vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(v)) => vars.push(Symbol::intern(&v)),
+                        _ => return Err(self.error("expected quantified variable".into())),
+                    }
+                    if self.eat(&Tok::Dot) {
+                        break;
+                    }
+                }
+                let body = self.formula()?;
+                Ok(if is_exists {
+                    Formula::exists(vars, body)
+                } else {
+                    Formula::forall(vars, body)
+                })
+            }
+            Some(Tok::LParen) => {
+                // Could be a parenthesized formula or a parenthesized term in
+                // a comparison; try formula first by backtracking.
+                let save = self.pos;
+                self.bump();
+                if let Ok(f) = self.formula() {
+                    if self.eat(&Tok::RParen) {
+                        // Only accept if not followed by a relational operator
+                        // (which would mean the parens enclosed a term).
+                        if !matches!(
+                            self.peek(),
+                            Some(Tok::Le | Tok::Lt | Tok::Ge | Tok::Gt | Tok::EqEq | Tok::Neq)
+                        ) {
+                            return Ok(f);
+                        }
+                    }
+                }
+                self.pos = save;
+                self.comparison()
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.term()?;
+        // Divisibility: "n | t"
+        if self.eat(&Tok::Bar) {
+            let rhs = self.term()?;
+            if !lhs.is_constant() || !lhs.constant_part().is_positive() {
+                return Err(self.error("divisibility modulus must be a positive constant".into()));
+            }
+            return Ok(Formula::divides(lhs.constant_part().clone(), rhs));
+        }
+        let op = self
+            .bump()
+            .ok_or_else(|| self.error("expected comparison operator".into()))?;
+        let rhs = self.term()?;
+        match op {
+            Tok::Le => Ok(Formula::le(lhs, rhs)),
+            Tok::Lt => Ok(Formula::lt(lhs, rhs)),
+            Tok::Ge => Ok(Formula::ge(lhs, rhs)),
+            Tok::Gt => Ok(Formula::gt(lhs, rhs)),
+            Tok::EqEq => Ok(Formula::eq(lhs, rhs)),
+            Tok::Neq => Ok(Formula::neq(lhs, rhs)),
+            _ => Err(self.error("expected comparison operator".into())),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.product()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                acc = acc + self.product()?;
+            } else if self.eat(&Tok::Minus) {
+                acc = acc - self.product()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn product(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.factor()?;
+        while self.eat(&Tok::Star) {
+            let rhs = self.factor()?;
+            acc = if acc.is_constant() {
+                rhs.scale(acc.constant_part().clone())
+            } else if rhs.is_constant() {
+                acc.scale(rhs.constant_part().clone())
+            } else {
+                return Err(self.error("non-linear multiplication".into()));
+            };
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Term, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Term::constant(n)),
+            Some(Tok::Ident(name)) => Ok(Term::var(Symbol::intern(&name))),
+            Some(Tok::Minus) => Ok(-self.factor()?),
+            Some(Tok::LParen) => {
+                let t = self.term()?;
+                self.expect(Tok::RParen, "closing parenthesis")?;
+                Ok(t)
+            }
+            _ => Err(self.error("expected term".into())),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let n: Int = input[i..j]
+                    .parse()
+                    .map_err(|_| ParseError { message: "bad integer".into(), position: start })?;
+                toks.push((Tok::Int(n), start));
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'\'')
+                {
+                    j += 1;
+                }
+                toks.push((Tok::Ident(input[i..j].to_string()), start));
+                i = j;
+            }
+            '+' => {
+                toks.push((Tok::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    toks.push((Tok::Arrow, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Minus, start));
+                    i += 1;
+                }
+            }
+            '*' => {
+                toks.push((Tok::Star, start));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, start));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, start));
+                i += 1;
+            }
+            '&' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
+                    toks.push((Tok::AndAnd, start));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected `&&`".into(), position: start });
+                }
+            }
+            '|' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
+                    toks.push((Tok::OrOr, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Bar, start));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Neq, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Not, start));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Le, start));
+                    i += 2;
+                } else if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] == b'>' {
+                    // "<->" is not supported; report a helpful error.
+                    return Err(ParseError {
+                        message: "bi-implication is not supported; use two implications".into(),
+                        position: start,
+                    });
+                } else {
+                    toks.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push((Tok::EqEq, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::EqEq, start));
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{}`", other),
+                    position: start,
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Valuation;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn parse_simple_comparisons() {
+        let f = parse_formula("x + 1 <= 2*y").unwrap();
+        let mut v = Valuation::new();
+        v.set(sym("x"), 1.into());
+        v.set(sym("y"), 1.into());
+        assert_eq!(f.eval(&v), Some(true));
+        v.set(sym("y"), 0.into());
+        assert_eq!(f.eval(&v), Some(false));
+    }
+
+    #[test]
+    fn parse_connectives_and_quantifiers() {
+        let f = parse_formula("exists k. x = 2*k && k >= 0").unwrap();
+        assert_eq!(f.free_vars(), [sym("x")].into_iter().collect());
+        let g = parse_formula("forall y. y >= 0 -> y + x >= 0").unwrap();
+        assert_eq!(g.free_vars(), [sym("x")].into_iter().collect());
+        let h = parse_formula("!(a < b) || a != c").unwrap();
+        assert!(h.is_quantifier_free());
+    }
+
+    #[test]
+    fn parse_divisibility() {
+        let f = parse_formula("2 | x + 1").unwrap();
+        let mut v = Valuation::new();
+        v.set(sym("x"), 3.into());
+        assert_eq!(f.eval(&v), Some(true));
+        v.set(sym("x"), 2.into());
+        assert_eq!(f.eval(&v), Some(false));
+        assert!(parse_formula("x | 2").is_err());
+    }
+
+    #[test]
+    fn parse_parenthesized() {
+        let f = parse_formula("(x <= 0 || y <= 0) && (x + y) >= -5").unwrap();
+        let mut v = Valuation::new();
+        v.set(sym("x"), 0.into());
+        v.set(sym("y"), 3.into());
+        assert_eq!(f.eval(&v), Some(true));
+    }
+
+    #[test]
+    fn parse_terms() {
+        let t = parse_term("3*x - (y + 2) + 4").unwrap();
+        assert_eq!(t.coeff(&sym("x")), 3.into());
+        assert_eq!(t.coeff(&sym("y")), (-1).into());
+        assert_eq!(*t.constant_part(), 2.into());
+    }
+
+    #[test]
+    fn reject_nonlinear_and_garbage() {
+        assert!(parse_formula("x*y <= 0").is_err());
+        assert!(parse_formula("x <=").is_err());
+        assert!(parse_formula("@").is_err());
+        assert!(parse_formula("x < 1 extra").is_err());
+    }
+
+    #[test]
+    fn primed_identifiers() {
+        let f = parse_formula("x' = x + 1").unwrap();
+        assert!(f.free_vars().contains(&sym("x'")));
+        assert!(f.free_vars().contains(&sym("x")));
+    }
+}

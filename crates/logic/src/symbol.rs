@@ -1,0 +1,147 @@
+//! Interned variable symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned variable name.
+///
+/// Symbols are cheap to copy, hash and compare; the actual string is stored
+/// in a process-wide interner.  Two symbols are equal iff their names are
+/// equal.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::Symbol;
+/// let x = Symbol::intern("x");
+/// let x2 = Symbol::intern("x");
+/// assert_eq!(x, x2);
+/// assert_eq!(x.name(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { names: Vec::new(), map: HashMap::new() })
+    })
+}
+
+impl Symbol {
+    /// Interns a name, returning its symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut interner = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = interner.map.get(name) {
+            return Symbol(id);
+        }
+        let id = interner.names.len() as u32;
+        interner.names.push(name.to_string());
+        interner.map.insert(name.to_string(), id);
+        Symbol(id)
+    }
+
+    /// The name of this symbol.
+    pub fn name(&self) -> String {
+        let interner = interner().lock().expect("symbol interner poisoned");
+        interner.names[self.0 as usize].clone()
+    }
+
+    /// Returns a fresh symbol whose name starts with `prefix` and which has
+    /// never been interned before.
+    pub fn fresh(prefix: &str) -> Symbol {
+        let mut interner = interner().lock().expect("symbol interner poisoned");
+        let mut i = interner.names.len();
+        loop {
+            let candidate = format!("{}${}", prefix, i);
+            if !interner.map.contains_key(&candidate) {
+                let id = interner.names.len() as u32;
+                interner.names.push(candidate.clone());
+                interner.map.insert(candidate, id);
+                return Symbol(id);
+            }
+            i += 1;
+        }
+    }
+
+    /// The "primed" version of this symbol (conventionally, the post-state
+    /// copy of a program variable): `x` becomes `x'`.
+    pub fn primed(&self) -> Symbol {
+        Symbol::intern(&format!("{}'", self.name()))
+    }
+
+    /// Returns `true` if this symbol's name ends with a prime.
+    pub fn is_primed(&self) -> bool {
+        self.name().ends_with('\'')
+    }
+
+    /// Strips one trailing prime, if present.
+    pub fn unprimed(&self) -> Symbol {
+        let name = self.name();
+        match name.strip_suffix('\'') {
+            Some(base) => Symbol::intern(base),
+            None => *self,
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        let c = Symbol::intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "foo");
+        assert_eq!(c.name(), "bar");
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Symbol::fresh("tmp");
+        let b = Symbol::fresh("tmp");
+        assert_ne!(a, b);
+        assert!(a.name().starts_with("tmp$"));
+    }
+
+    #[test]
+    fn priming() {
+        let x = Symbol::intern("x");
+        let xp = x.primed();
+        assert_eq!(xp.name(), "x'");
+        assert!(xp.is_primed());
+        assert!(!x.is_primed());
+        assert_eq!(xp.unprimed(), x);
+        assert_eq!(x.unprimed(), x);
+        assert_eq!(xp.primed().name(), "x''");
+        assert_eq!(xp.primed().unprimed(), xp);
+    }
+}

@@ -1,0 +1,396 @@
+//! Linear integer arithmetic terms.
+
+use crate::{Symbol, Valuation};
+use compact_arith::{Int, Rat};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A linear term over integer variables: `c + Σ aᵢ·xᵢ`.
+///
+/// Every term of the paper's LIA syntax (`t ::= x | n | n·t | t₁ + t₂`)
+/// normalizes to this shape, so [`Term`] *is* the normal form: construction
+/// by [`Term::var`], [`Term::constant`] and the arithmetic operators keeps
+/// terms normalized at all times.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::{Term, Symbol};
+/// let x = Term::var(Symbol::intern("x"));
+/// let y = Term::var(Symbol::intern("y"));
+/// let t = x.clone() * 2 + y - Term::constant(3);
+/// assert_eq!(t.to_string(), "2*x + y - 3");
+/// assert_eq!(t.coeff(&Symbol::intern("x")), 2.into());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Term {
+    coeffs: BTreeMap<Symbol, Int>,
+    constant: Int,
+}
+
+impl Term {
+    /// The zero term.
+    pub fn zero() -> Term {
+        Term::default()
+    }
+
+    /// A constant term.
+    pub fn constant(value: impl Into<Int>) -> Term {
+        Term { coeffs: BTreeMap::new(), constant: value.into() }
+    }
+
+    /// The term consisting of a single variable.
+    pub fn var(sym: Symbol) -> Term {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(sym, Int::one());
+        Term { coeffs, constant: Int::zero() }
+    }
+
+    /// Builds a term from coefficient pairs and a constant.
+    pub fn from_parts(parts: impl IntoIterator<Item = (Symbol, Int)>, constant: Int) -> Term {
+        let mut t = Term::constant(constant);
+        for (sym, coeff) in parts {
+            t.add_coeff(sym, coeff);
+        }
+        t
+    }
+
+    fn add_coeff(&mut self, sym: Symbol, coeff: Int) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.coeffs.entry(sym).or_insert_with(Int::zero);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.coeffs.remove(&sym);
+        }
+    }
+
+    /// The constant part of the term.
+    pub fn constant_part(&self) -> &Int {
+        &self.constant
+    }
+
+    /// The coefficient of a variable (zero if absent).
+    pub fn coeff(&self, sym: &Symbol) -> Int {
+        self.coeffs.get(sym).cloned().unwrap_or_else(Int::zero)
+    }
+
+    /// Iterates over the (variable, coefficient) pairs with non-zero
+    /// coefficient, in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Int)> {
+        self.coeffs.iter()
+    }
+
+    /// Returns `true` if the term is a constant (has no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Returns `true` if the term is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty() && self.constant.is_zero()
+    }
+
+    /// The set of variables occurring in the term.
+    pub fn vars(&self) -> impl Iterator<Item = &Symbol> {
+        self.coeffs.keys()
+    }
+
+    /// Returns `true` if the variable occurs with non-zero coefficient.
+    pub fn contains_var(&self, sym: &Symbol) -> bool {
+        self.coeffs.contains_key(sym)
+    }
+
+    /// The number of variables with non-zero coefficient.
+    pub fn num_vars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the term under a valuation.
+    ///
+    /// Returns `None` if some variable of the term is not assigned.
+    pub fn eval(&self, valuation: &Valuation) -> Option<Int> {
+        let mut total = self.constant.clone();
+        for (sym, coeff) in &self.coeffs {
+            total += coeff * valuation.get(sym)?;
+        }
+        Some(total)
+    }
+
+    /// Substitutes variables by terms (simultaneous substitution).
+    pub fn substitute(&self, map: &BTreeMap<Symbol, Term>) -> Term {
+        let mut result = Term::constant(self.constant.clone());
+        for (sym, coeff) in &self.coeffs {
+            match map.get(sym) {
+                Some(replacement) => {
+                    result = result + replacement.clone().scale(coeff.clone());
+                }
+                None => result.add_coeff(*sym, coeff.clone()),
+            }
+        }
+        result
+    }
+
+    /// Renames variables according to the given map.
+    pub fn rename(&self, map: &BTreeMap<Symbol, Symbol>) -> Term {
+        let mut result = Term::constant(self.constant.clone());
+        for (sym, coeff) in &self.coeffs {
+            let target = map.get(sym).copied().unwrap_or(*sym);
+            result.add_coeff(target, coeff.clone());
+        }
+        result
+    }
+
+    /// Multiplies the term by an integer scalar.
+    pub fn scale(&self, k: impl Into<Int>) -> Term {
+        let k = k.into();
+        if k.is_zero() {
+            return Term::zero();
+        }
+        Term {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(s, c)| (*s, c * &k))
+                .collect(),
+            constant: &self.constant * &k,
+        }
+    }
+
+    /// The greatest common divisor of all variable coefficients
+    /// (zero for constant terms).
+    pub fn coeff_gcd(&self) -> Int {
+        self.coeffs
+            .values()
+            .fold(Int::zero(), |g, c| g.gcd(c))
+    }
+
+    /// Splits the term into the coefficient of `sym` and the rest.
+    pub fn split_var(&self, sym: &Symbol) -> (Int, Term) {
+        let coeff = self.coeff(sym);
+        let mut rest = self.clone();
+        rest.coeffs.remove(sym);
+        (coeff, rest)
+    }
+
+    /// Converts the variable coefficients to a dense rational vector with
+    /// respect to a variable ordering; returns the vector and the constant.
+    pub fn to_dense(&self, order: &[Symbol]) -> (Vec<Rat>, Rat) {
+        let vec = order
+            .iter()
+            .map(|s| Rat::from_int(self.coeff(s)))
+            .collect();
+        (vec, Rat::from_int(self.constant.clone()))
+    }
+}
+
+impl Add for Term {
+    type Output = Term;
+    fn add(self, other: Term) -> Term {
+        let mut result = self;
+        result.constant += other.constant;
+        for (sym, coeff) in other.coeffs {
+            result.add_coeff(sym, coeff);
+        }
+        result
+    }
+}
+
+impl Sub for Term {
+    type Output = Term;
+    fn sub(self, other: Term) -> Term {
+        self + (-other)
+    }
+}
+
+impl Neg for Term {
+    type Output = Term;
+    fn neg(self) -> Term {
+        self.scale(Int::from(-1))
+    }
+}
+
+impl Mul<i64> for Term {
+    type Output = Term;
+    fn mul(self, k: i64) -> Term {
+        self.scale(Int::from(k))
+    }
+}
+
+impl Mul<Int> for Term {
+    type Output = Term;
+    fn mul(self, k: Int) -> Term {
+        self.scale(k)
+    }
+}
+
+impl Add<i64> for Term {
+    type Output = Term;
+    fn add(self, k: i64) -> Term {
+        self + Term::constant(k)
+    }
+}
+
+impl Sub<i64> for Term {
+    type Output = Term;
+    fn sub(self, k: i64) -> Term {
+        self - Term::constant(k)
+    }
+}
+
+impl From<Symbol> for Term {
+    fn from(sym: Symbol) -> Term {
+        Term::var(sym)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Term {
+        Term::constant(v)
+    }
+}
+
+impl From<Int> for Term {
+    fn from(v: Int) -> Term {
+        Term::constant(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "{}", self.constant);
+        }
+        let mut first = true;
+        for (sym, coeff) in &self.coeffs {
+            if first {
+                if coeff.is_one() {
+                    write!(f, "{}", sym)?;
+                } else if *coeff == Int::from(-1) {
+                    write!(f, "-{}", sym)?;
+                } else {
+                    write!(f, "{}*{}", coeff, sym)?;
+                }
+                first = false;
+            } else if coeff.is_positive() {
+                if coeff.is_one() {
+                    write!(f, " + {}", sym)?;
+                } else {
+                    write!(f, " + {}*{}", coeff, sym)?;
+                }
+            } else if coeff.abs().is_one() {
+                write!(f, " - {}", sym)?;
+            } else {
+                write!(f, " - {}*{}", coeff.abs(), sym)?;
+            }
+        }
+        if self.constant.is_positive() {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant.is_negative() {
+            write!(f, " - {}", self.constant.abs())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn construction_and_normalization() {
+        let x = Term::var(sym("x"));
+        let t = x.clone() + x.clone() - x.clone() * 2;
+        assert!(t.is_zero());
+        let u = Term::var(sym("y")) * 3 + 5;
+        assert_eq!(u.coeff(&sym("y")), 3.into());
+        assert_eq!(*u.constant_part(), 5.into());
+        assert!(!u.is_constant());
+        assert!(Term::constant(7).is_constant());
+    }
+
+    #[test]
+    fn display() {
+        let t = Term::var(sym("a")) * 2 - Term::var(sym("b")) + 1;
+        assert_eq!(t.to_string(), "2*a - b + 1");
+        assert_eq!(Term::zero().to_string(), "0");
+        assert_eq!((Term::var(sym("a")) - 3).to_string(), "a - 3");
+        assert_eq!((-Term::var(sym("a"))).to_string(), "-a");
+    }
+
+    #[test]
+    fn evaluation() {
+        let t = Term::var(sym("x")) * 2 + Term::var(sym("y")) - 7;
+        let mut v = Valuation::new();
+        v.set(sym("x"), 5.into());
+        assert_eq!(t.eval(&v), None);
+        v.set(sym("y"), 3.into());
+        assert_eq!(t.eval(&v), Some(6.into()));
+    }
+
+    #[test]
+    fn substitution() {
+        // t = x + 2y ; x -> y + 1 gives 3y + 1
+        let t = Term::var(sym("x")) + Term::var(sym("y")) * 2;
+        let mut map = BTreeMap::new();
+        map.insert(sym("x"), Term::var(sym("y")) + 1);
+        let s = t.substitute(&map);
+        assert_eq!(s.coeff(&sym("y")), 3.into());
+        assert_eq!(*s.constant_part(), 1.into());
+        assert!(!s.contains_var(&sym("x")));
+    }
+
+    #[test]
+    fn simultaneous_substitution_does_not_cascade() {
+        // x -> y, y -> x should swap, not collapse.
+        let t = Term::var(sym("x")) - Term::var(sym("y"));
+        let mut map = BTreeMap::new();
+        map.insert(sym("x"), Term::var(sym("y")));
+        map.insert(sym("y"), Term::var(sym("x")));
+        let s = t.substitute(&map);
+        assert_eq!(s.coeff(&sym("x")), Int::from(-1));
+        assert_eq!(s.coeff(&sym("y")), Int::from(1));
+    }
+
+    #[test]
+    fn rename_and_split() {
+        let t = Term::var(sym("p")) * 4 + Term::var(sym("q")) - 2;
+        let mut map = BTreeMap::new();
+        map.insert(sym("p"), sym("r"));
+        let renamed = t.rename(&map);
+        assert_eq!(renamed.coeff(&sym("r")), 4.into());
+        assert!(!renamed.contains_var(&sym("p")));
+        let (c, rest) = t.split_var(&sym("p"));
+        assert_eq!(c, 4.into());
+        assert!(!rest.contains_var(&sym("p")));
+        assert_eq!(rest.coeff(&sym("q")), 1.into());
+    }
+
+    #[test]
+    fn coeff_gcd() {
+        let t = Term::var(sym("x")) * 6 + Term::var(sym("y")) * 9 + 5;
+        assert_eq!(t.coeff_gcd(), 3.into());
+        assert_eq!(Term::constant(5).coeff_gcd(), 0.into());
+    }
+
+    #[test]
+    fn dense_conversion() {
+        let t = Term::var(sym("x")) * 2 - Term::var(sym("z")) + 7;
+        let order = vec![sym("x"), sym("y"), sym("z")];
+        let (v, c) = t.to_dense(&order);
+        assert_eq!(v, vec![Rat::from(2), Rat::from(0), Rat::from(-1)]);
+        assert_eq!(c, Rat::from(7));
+    }
+}

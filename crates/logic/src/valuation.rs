@@ -1,0 +1,153 @@
+//! Valuations: assignments of integers to variables.
+
+use crate::Symbol;
+use compact_arith::Int;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A (partial) assignment of integer values to variables.
+///
+/// Valuations play the role of program *states* (over `Var`) and
+/// *transitions* (over `Var ∪ Var'`) in the paper (§3.3).
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::{Valuation, Symbol};
+/// let mut v = Valuation::new();
+/// v.set(Symbol::intern("x"), 3.into());
+/// assert_eq!(v.get(&Symbol::intern("x")), Some(&3.into()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Valuation {
+    values: BTreeMap<Symbol, Int>,
+}
+
+impl Valuation {
+    /// Creates an empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// Assigns a value to a variable (overwriting any previous value).
+    pub fn set(&mut self, sym: Symbol, value: Int) {
+        self.values.insert(sym, value);
+    }
+
+    /// Looks up the value of a variable.
+    pub fn get(&self, sym: &Symbol) -> Option<&Int> {
+        self.values.get(sym)
+    }
+
+    /// Returns `true` if the variable is assigned.
+    pub fn contains(&self, sym: &Symbol) -> bool {
+        self.values.contains_key(sym)
+    }
+
+    /// Iterates over the assignments in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &Int)> {
+        self.values.iter()
+    }
+
+    /// The number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merges another valuation into this one (the other wins on conflicts).
+    pub fn extend(&mut self, other: &Valuation) {
+        for (k, v) in other.iter() {
+            self.values.insert(*k, v.clone());
+        }
+    }
+
+    /// Builds the transition valuation `[s, s']` of the paper: the variables
+    /// of `pre` unchanged plus the variables of `post` primed.
+    pub fn transition(pre: &Valuation, post: &Valuation) -> Valuation {
+        let mut t = pre.clone();
+        for (sym, value) in post.iter() {
+            t.set(sym.primed(), value.clone());
+        }
+        t
+    }
+
+    /// Restricts the valuation to the given variables.
+    pub fn restrict<'a>(&self, vars: impl IntoIterator<Item = &'a Symbol>) -> Valuation {
+        let mut out = Valuation::new();
+        for sym in vars {
+            if let Some(v) = self.get(sym) {
+                out.set(*sym, v.clone());
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Symbol, Int)> for Valuation {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Int)>>(iter: I) -> Valuation {
+        Valuation { values: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Valuation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (sym, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} -> {}", sym, value)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut v = Valuation::new();
+        assert!(v.is_empty());
+        v.set(Symbol::intern("a"), 1.into());
+        v.set(Symbol::intern("b"), 2.into());
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&Symbol::intern("a")));
+        assert_eq!(v.get(&Symbol::intern("b")), Some(&2.into()));
+        assert_eq!(v.get(&Symbol::intern("c")), None);
+    }
+
+    #[test]
+    fn transition_construction() {
+        let mut pre = Valuation::new();
+        pre.set(Symbol::intern("x"), 1.into());
+        let mut post = Valuation::new();
+        post.set(Symbol::intern("x"), 2.into());
+        let t = Valuation::transition(&pre, &post);
+        assert_eq!(t.get(&Symbol::intern("x")), Some(&1.into()));
+        assert_eq!(t.get(&Symbol::intern("x'")), Some(&2.into()));
+    }
+
+    #[test]
+    fn restrict_and_extend() {
+        let v: Valuation = [
+            (Symbol::intern("x"), Int::from(1)),
+            (Symbol::intern("y"), Int::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        let r = v.restrict(&[Symbol::intern("x")]);
+        assert_eq!(r.len(), 1);
+        let mut w = Valuation::new();
+        w.set(Symbol::intern("y"), 9.into());
+        let mut merged = v.clone();
+        merged.extend(&w);
+        assert_eq!(merged.get(&Symbol::intern("y")), Some(&9.into()));
+    }
+}

@@ -1,0 +1,463 @@
+//! Convex polyhedra in constraint representation.
+
+use compact_arith::{ConstraintOp, Int, LinearProgram, LpResult, Rat};
+use compact_logic::{Atom, Formula, Symbol, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single linear constraint `term ≤ 0` or `term = 0` over integer-valued
+/// variables (the term has integer coefficients).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Constraint {
+    /// The left-hand side; the constraint is `term (≤ or =) 0`.
+    pub term: Term,
+    /// `true` for an equality, `false` for `≤`.
+    pub is_eq: bool,
+}
+
+impl Constraint {
+    /// Creates the inequality `term <= 0`.
+    pub fn le(term: Term) -> Constraint {
+        Constraint { term, is_eq: false }
+    }
+
+    /// Creates the equality `term = 0`.
+    pub fn eq(term: Term) -> Constraint {
+        Constraint { term, is_eq: true }
+    }
+
+    /// Divides all coefficients (and the constant) by their common gcd.
+    /// This is a rational-equivalence-preserving normalization.
+    pub fn normalize(&self) -> Constraint {
+        let mut g = self.term.coeff_gcd();
+        g = g.gcd(self.term.constant_part());
+        if g.is_zero() || g.is_one() {
+            return self.clone();
+        }
+        let term = Term::from_parts(
+            self.term.iter().map(|(s, c)| (*s, c.div_floor(&g))),
+            self.term.constant_part().div_floor(&g),
+        );
+        Constraint { term, is_eq: self.is_eq }
+    }
+
+    /// Converts the constraint to a formula atom.
+    pub fn to_atom(&self) -> Atom {
+        if self.is_eq {
+            Atom::Eq(self.term.clone())
+        } else {
+            Atom::Le(self.term.clone())
+        }
+    }
+
+    /// The variables mentioned by the constraint.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        self.term.vars().copied().collect()
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_eq {
+            write!(f, "{} = 0", self.term)
+        } else {
+            write!(f, "{} <= 0", self.term)
+        }
+    }
+}
+
+/// A convex polyhedron `{x : A x ≤ b, C x = d}` given by its constraints.
+///
+/// Polyhedra are used to over-approximate transition formulas: the `(-)★`
+/// operator needs the convex hull of the Δ-formula (§3.3) and the
+/// inter-procedural analysis needs affine hulls (Appendix B).
+///
+/// # Examples
+///
+/// ```
+/// use compact_polyhedra::Polyhedron;
+/// use compact_logic::parse_formula;
+/// let p = Polyhedron::from_formula_conjuncts(&parse_formula("x >= 0 && x <= 5").unwrap());
+/// assert!(!p.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polyhedron {
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universal polyhedron (no constraints).
+    pub fn top() -> Polyhedron {
+        Polyhedron::default()
+    }
+
+    /// An explicitly empty polyhedron (`0 ≤ -1`).
+    pub fn bottom() -> Polyhedron {
+        Polyhedron { constraints: vec![Constraint::le(Term::constant(1))] }
+    }
+
+    /// Builds a polyhedron from constraints.
+    pub fn from_constraints(constraints: Vec<Constraint>) -> Polyhedron {
+        Polyhedron { constraints: constraints.into_iter().map(|c| c.normalize()).collect() }
+    }
+
+    /// Builds a polyhedron from the convex atoms of a cube.
+    ///
+    /// Equality and inequality atoms are kept; disequality and divisibility
+    /// atoms are *dropped*, which makes the result an over-approximation of
+    /// the cube — exactly what the hull-based operators require.
+    pub fn from_atoms(atoms: &[Atom]) -> Polyhedron {
+        let mut constraints = Vec::new();
+        for atom in atoms {
+            match atom {
+                Atom::Le(t) => constraints.push(Constraint::le(t.clone())),
+                Atom::Eq(t) => constraints.push(Constraint::eq(t.clone())),
+                Atom::Neq(_) | Atom::Divides(..) | Atom::NotDivides(..) => {}
+            }
+        }
+        Polyhedron::from_constraints(constraints)
+    }
+
+    /// Builds a polyhedron from the top-level conjuncts of a formula,
+    /// dropping anything non-convex (an over-approximation).
+    pub fn from_formula_conjuncts(f: &Formula) -> Polyhedron {
+        let mut atoms = Vec::new();
+        for conjunct in f.conjuncts() {
+            if let Formula::Atom(a) = conjunct {
+                atoms.push(a.clone());
+            }
+        }
+        Polyhedron::from_atoms(&atoms)
+    }
+
+    /// The constraints of the polyhedron.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The variables mentioned by the polyhedron.
+    pub fn vars(&self) -> BTreeSet<Symbol> {
+        self.constraints.iter().flat_map(|c| c.vars()).collect()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, c: Constraint) {
+        self.constraints.push(c.normalize());
+    }
+
+    /// Converts the polyhedron back to a formula (a conjunction of atoms).
+    pub fn to_formula(&self) -> Formula {
+        Formula::and(
+            self.constraints
+                .iter()
+                .map(|c| Formula::atom(c.to_atom()))
+                .collect(),
+        )
+    }
+
+    /// Returns `true` if the polyhedron has no *rational* point.
+    pub fn is_empty(&self) -> bool {
+        self.lp().find_point().is_none()
+    }
+
+    /// Returns `true` if the polyhedron has no constraints.
+    pub fn is_top(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    fn lp(&self) -> LinearProgram {
+        let vars: Vec<Symbol> = self.vars().into_iter().collect();
+        self.lp_over(&vars)
+    }
+
+    fn lp_over(&self, vars: &[Symbol]) -> LinearProgram {
+        let mut lp = LinearProgram::new(vars.len());
+        for c in &self.constraints {
+            let (coeffs, constant) = c.term.to_dense(vars);
+            let op = if c.is_eq { ConstraintOp::Eq } else { ConstraintOp::Le };
+            lp.add_constraint(coeffs, op, -constant);
+        }
+        lp
+    }
+
+    /// Checks whether the polyhedron (rationally) entails `candidate ≤ 0`
+    /// (or `= 0` for equality candidates).
+    pub fn entails(&self, candidate: &Constraint) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut vars: Vec<Symbol> = self.vars().into_iter().collect();
+        for v in candidate.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lp = self.lp_over(&vars);
+        let (coeffs, constant) = candidate.term.to_dense(&vars);
+        // max term over the polyhedron must be <= 0.
+        let max_le_zero = match lp.maximize(&coeffs) {
+            LpResult::Optimal { value, .. } => value + constant.clone() <= Rat::zero(),
+            LpResult::Unbounded => false,
+            LpResult::Infeasible => true,
+        };
+        if !candidate.is_eq {
+            return max_le_zero;
+        }
+        if !max_le_zero {
+            return false;
+        }
+        match lp.minimize(&coeffs) {
+            LpResult::Optimal { value, .. } => value + constant >= Rat::zero(),
+            LpResult::Unbounded => false,
+            LpResult::Infeasible => true,
+        }
+    }
+
+    /// Removes constraints that are implied by the remaining ones.
+    pub fn remove_redundant(&mut self) {
+        // Deduplicate first.
+        let mut unique: Vec<Constraint> = Vec::new();
+        for c in &self.constraints {
+            if !unique.contains(c) {
+                unique.push(c.clone());
+            }
+        }
+        self.constraints = unique;
+        let mut i = 0;
+        while i < self.constraints.len() {
+            let candidate = self.constraints[i].clone();
+            let rest = Polyhedron {
+                constraints: self
+                    .constraints
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, c)| c.clone())
+                    .collect(),
+            };
+            if rest.entails(&candidate) {
+                self.constraints.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Projects the polyhedron onto the complement of `eliminate`, i.e.
+    /// existentially quantifies the given variables away, using
+    /// Fourier–Motzkin elimination (exact over the rationals).
+    pub fn project_out(&self, eliminate: &[Symbol]) -> Polyhedron {
+        let mut current = self.clone();
+        for var in eliminate {
+            current = current.eliminate_one(var);
+            current.remove_redundant();
+            if current.is_empty() {
+                return Polyhedron::bottom();
+            }
+        }
+        current
+    }
+
+    /// Eliminates a single variable by Fourier–Motzkin.
+    fn eliminate_one(&self, var: &Symbol) -> Polyhedron {
+        let mut kept: Vec<Constraint> = Vec::new();
+        let mut uppers: Vec<(Int, Term)> = Vec::new(); // a > 0 in a*x + r <= 0
+        let mut lowers: Vec<(Int, Term)> = Vec::new(); // a < 0 in a*x + r <= 0
+        let mut equalities: Vec<(Int, Term)> = Vec::new();
+
+        for c in &self.constraints {
+            let (a, rest) = c.term.split_var(var);
+            if a.is_zero() {
+                kept.push(c.clone());
+            } else if c.is_eq {
+                equalities.push((a, rest));
+            } else if a.is_positive() {
+                uppers.push((a, rest));
+            } else {
+                lowers.push((a, rest));
+            }
+        }
+
+        // If there is an equality involving the variable, use it to
+        // substitute the variable everywhere else.
+        if let Some((c_coeff, c_rest)) = equalities.first().cloned() {
+            let mut out = kept;
+            let abs_c = c_coeff.abs();
+            let sign_c = Int::from(c_coeff.signum() as i64);
+            // For a constraint d*x + s (≤/=) 0:   |c|*(d*x + s) - sign(c)*d*(c*x + r)
+            //   has x-coefficient |c| d - sign(c) d c = 0.
+            let substitute = |d: &Int, s: &Term| -> Term {
+                s.clone().scale(abs_c.clone()) - c_rest.clone().scale(&sign_c * d)
+            };
+            for (a, rest) in uppers.iter().chain(lowers.iter()) {
+                out.push(Constraint::le(substitute(a, rest)));
+            }
+            for (a, rest) in equalities.iter().skip(1) {
+                out.push(Constraint::eq(substitute(a, rest)));
+            }
+            return Polyhedron::from_constraints(out);
+        }
+
+        // Otherwise combine every upper bound with every lower bound.
+        let mut out = kept;
+        for (a, r) in &uppers {
+            for (b, s) in &lowers {
+                // a > 0, b < 0.  From a*x <= -r and  b*x <= -s (i.e. x >= -s/b):
+                //   (-b)*(a x + r) + a*(b x + s) <= 0  ⇔  (-b) r + a s <= 0
+                let combined = r.clone().scale(-b.clone()) + s.clone().scale(a.clone());
+                out.push(Constraint::le(combined));
+            }
+        }
+        Polyhedron::from_constraints(out)
+    }
+
+    /// Returns a rational point of the polyhedron, if non-empty, as a pair of
+    /// variable order and coordinates.
+    pub fn sample_point(&self) -> Option<(Vec<Symbol>, Vec<Rat>)> {
+        let vars: Vec<Symbol> = self.vars().into_iter().collect();
+        let point = self.lp_over(&vars).find_point()?;
+        Some((vars, point))
+    }
+
+    /// Intersects two polyhedra.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        let mut constraints = self.constraints.clone();
+        constraints.extend(other.constraints.iter().cloned());
+        Polyhedron::from_constraints(constraints)
+    }
+
+    /// Checks (rational) inclusion `self ⊆ other`.
+    pub fn includes_in(&self, other: &Polyhedron) -> bool {
+        other.constraints.iter().all(|c| self.entails(c))
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.constraints.is_empty() {
+            return write!(f, "top");
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{}", c)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn poly(s: &str) -> Polyhedron {
+        Polyhedron::from_formula_conjuncts(&parse_formula(s).unwrap())
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(!poly("x >= 0 && x <= 5").is_empty());
+        assert!(poly("x >= 1 && x <= 0").is_empty());
+        assert!(Polyhedron::bottom().is_empty());
+        assert!(!Polyhedron::top().is_empty());
+        assert!(Polyhedron::top().is_top());
+    }
+
+    #[test]
+    fn entailment() {
+        let p = poly("x >= 2 && y = x + 1");
+        // x >= 0, i.e. -x <= 0
+        assert!(p.entails(&Constraint::le(-Term::var(sym("x")))));
+        // y >= 3
+        assert!(p.entails(&Constraint::le(Term::constant(3) - Term::var(sym("y")))));
+        // x >= 5 should not be entailed.
+        assert!(!p.entails(&Constraint::le(Term::constant(5) - Term::var(sym("x")))));
+        // y - x = 1, i.e. y - x - 1 = 0
+        assert!(p.entails(&Constraint::eq(
+            Term::var(sym("y")) - Term::var(sym("x")) - 1
+        )));
+    }
+
+    #[test]
+    fn redundancy_removal() {
+        let mut p = poly("x >= 0 && x >= 2 && x <= 10 && x <= 10");
+        p.remove_redundant();
+        assert_eq!(p.constraints().len(), 2);
+    }
+
+    #[test]
+    fn projection_simple() {
+        // {x, y : 0 <= y, y <= x}  projected on x is x >= 0.
+        let p = poly("0 <= y && y <= x");
+        let q = p.project_out(&[sym("y")]);
+        assert!(q.entails(&Constraint::le(-Term::var(sym("x")))));
+        assert!(!q.vars().contains(&sym("y")));
+        // And it should not entail anything stronger.
+        assert!(!q.entails(&Constraint::le(Term::constant(1) - Term::var(sym("x")))));
+    }
+
+    #[test]
+    fn projection_with_equalities() {
+        // {x, y, z : x = y + 1, y = z + 1} projected on x, z gives x = z + 2.
+        let p = poly("x = y + 1 && y = z + 1");
+        let q = p.project_out(&[sym("y")]);
+        assert!(q.entails(&Constraint::eq(
+            Term::var(sym("x")) - Term::var(sym("z")) - 2
+        )));
+    }
+
+    #[test]
+    fn projection_unbounded() {
+        // {x, y : y >= x} projected on x: no constraint on x.
+        let p = poly("y >= x");
+        let q = p.project_out(&[sym("y")]);
+        assert!(q.is_top() || !q.is_empty());
+        assert!(!q.vars().contains(&sym("y")));
+    }
+
+    #[test]
+    fn inclusion_and_intersection() {
+        let small = poly("x >= 2 && x <= 3");
+        let big = poly("x >= 0 && x <= 10");
+        assert!(small.includes_in(&big));
+        assert!(!big.includes_in(&small));
+        let inter = big.intersect(&poly("x >= 9"));
+        assert!(!inter.is_empty());
+        assert!(inter.entails(&Constraint::le(Term::constant(9) - Term::var(sym("x")))));
+    }
+
+    #[test]
+    fn sample_points_satisfy_constraints() {
+        let p = poly("x + y >= 3 && x <= 2 && y <= 2");
+        let (vars, point) = p.sample_point().expect("non-empty");
+        // Verify each constraint at the sampled point.
+        for c in p.constraints() {
+            let (coeffs, constant) = c.term.to_dense(&vars);
+            let value: Rat = coeffs
+                .iter()
+                .zip(point.iter())
+                .map(|(a, x)| a * x)
+                .sum::<Rat>()
+                + constant;
+            if c.is_eq {
+                assert!(value.is_zero());
+            } else {
+                assert!(value <= Rat::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn from_atoms_drops_nonconvex() {
+        let f = parse_formula("x >= 0 && x != 5 && 2 | x").unwrap();
+        let atoms: Vec<Atom> = f.atoms().into_iter().cloned().collect();
+        let p = Polyhedron::from_atoms(&atoms);
+        assert_eq!(p.constraints().len(), 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Convex hull and affine hull of LIA formulas.
+//!
+//! `conv(F)` (§3.2 of the paper) is the strongest conjunction of linear
+//! inequalities entailed by `F`; it drives the recurrence-based `(-)★`
+//! operator.  The affine hull (`ρ_aff`, Appendix B) is the strongest
+//! conjunction of linear *equalities* entailed by `F`; it is the closure
+//! operator used by the inter-procedural summary iteration.
+
+use crate::{Constraint, Polyhedron};
+use compact_arith::{Int, QMat, QVec, Rat};
+use compact_logic::{Formula, Symbol, Term, Valuation};
+use compact_smt::Solver;
+use std::collections::BTreeMap;
+
+/// Maximum number of DNF cubes enumerated before giving up on an exact hull.
+const CUBE_LIMIT: usize = 256;
+
+/// Computes the convex hull of the union of two polyhedra (the smallest
+/// closed convex polyhedron containing both), using the classic "lifting"
+/// encoding followed by Fourier–Motzkin projection.
+pub fn hull_pair(p1: &Polyhedron, p2: &Polyhedron) -> Polyhedron {
+    if p1.is_empty() {
+        return p2.clone();
+    }
+    if p2.is_empty() {
+        return p1.clone();
+    }
+    if p1.is_top() || p2.is_top() {
+        return Polyhedron::top();
+    }
+    // Shared variable order.
+    let mut vars: Vec<Symbol> = p1.vars().into_iter().collect();
+    for v in p2.vars() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+
+    // Lifted variables: x = x1 + x2,  A1 x1 <= b1*λ,  A2 x2 <= b2*(1-λ),
+    // 0 <= λ <= 1.  Projecting out x1, x2, λ yields cl(conv(P1 ∪ P2)).
+    let lambda = Symbol::fresh("hull_lambda");
+    let mut fresh1: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+    let mut fresh2: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+    for v in &vars {
+        fresh1.insert(*v, Symbol::fresh(&format!("{}_h1", v.name())));
+        fresh2.insert(*v, Symbol::fresh(&format!("{}_h2", v.name())));
+    }
+
+    let mut lifted: Vec<Constraint> = Vec::new();
+    // Homogenize P1 over the fresh1 variables with multiplier λ.
+    for c in p1.constraints() {
+        lifted.push(homogenize(c, &fresh1, lambda, false));
+    }
+    // Homogenize P2 over the fresh2 variables with multiplier (1 - λ).
+    for c in p2.constraints() {
+        lifted.push(homogenize(c, &fresh2, lambda, true));
+    }
+    // x = x1 + x2.
+    for v in &vars {
+        lifted.push(Constraint::eq(
+            Term::var(*v) - Term::var(fresh1[v]) - Term::var(fresh2[v]),
+        ));
+    }
+    // 0 <= λ <= 1.
+    lifted.push(Constraint::le(-Term::var(lambda)));
+    lifted.push(Constraint::le(Term::var(lambda) - 1));
+
+    let lifted_poly = Polyhedron::from_constraints(lifted);
+    let mut eliminate: Vec<Symbol> = vec![lambda];
+    eliminate.extend(fresh1.values().copied());
+    eliminate.extend(fresh2.values().copied());
+    let mut hull = lifted_poly.project_out(&eliminate);
+    hull.remove_redundant();
+    hull
+}
+
+/// Homogenizes `term (≤/=) 0` over renamed variables: the constant `c`
+/// becomes `c·λ` (or `c·(1-λ)` when `complement` is set).
+fn homogenize(
+    c: &Constraint,
+    rename: &BTreeMap<Symbol, Symbol>,
+    lambda: Symbol,
+    complement: bool,
+) -> Constraint {
+    let constant = c.term.constant_part().clone();
+    // Variable part, renamed.
+    let var_part = Term::from_parts(
+        c.term.iter().map(|(s, coeff)| (rename[s], coeff.clone())),
+        Int::zero(),
+    );
+    let scaled_constant = if complement {
+        // c*(1-λ) = c - c*λ
+        Term::constant(constant.clone()) - Term::var(lambda).scale(constant)
+    } else {
+        Term::var(lambda).scale(constant)
+    };
+    let term = var_part + scaled_constant;
+    if c.is_eq {
+        Constraint::eq(term)
+    } else {
+        Constraint::le(term)
+    }
+}
+
+/// Computes the convex hull `conv(F)` of a formula: the strongest convex
+/// polyhedron (over the free variables of `F`) that contains every model of
+/// `F`.
+///
+/// The formula is decomposed into satisfiable DNF cubes, each cube is relaxed
+/// to a polyhedron (dropping non-convex atoms), and the cubes are hulled
+/// pairwise.  If the formula has too many cubes, the result falls back to the
+/// universal polyhedron (a sound over-approximation).
+pub fn convex_hull(solver: &Solver, f: &Formula) -> Polyhedron {
+    if f.is_false() || !solver.is_sat(f) {
+        return Polyhedron::bottom();
+    }
+    let Some(cubes) = solver.dnf_cubes(f, CUBE_LIMIT) else {
+        return Polyhedron::top();
+    };
+    let mut result: Option<Polyhedron> = None;
+    for cube in cubes {
+        let p = Polyhedron::from_atoms(&cube);
+        result = Some(match result {
+            None => p,
+            Some(acc) => hull_pair(&acc, &p),
+        });
+        if result.as_ref().is_some_and(Polyhedron::is_top) {
+            return Polyhedron::top();
+        }
+    }
+    result.unwrap_or_else(Polyhedron::bottom)
+}
+
+/// Computes the affine hull of a formula: the strongest conjunction of
+/// linear equalities entailed by it, as a polyhedron of equality constraints.
+///
+/// Uses the standard model-based algorithm: maintain a set of models, compute
+/// the affine span of the models, and ask the solver for a model outside the
+/// span until none exists.
+pub fn affine_hull(solver: &Solver, f: &Formula) -> Polyhedron {
+    let vars: Vec<Symbol> = f.free_vars().into_iter().collect();
+    let Some(first) = solver.model(f) else {
+        return Polyhedron::bottom();
+    };
+    let mut models: Vec<Valuation> = vec![first];
+
+    loop {
+        let equalities = affine_span_equalities(&models, &vars);
+        if equalities.is_empty() {
+            return Polyhedron::top();
+        }
+        // Is there a model of f violating one of the equalities?
+        let violation = Formula::and(vec![
+            f.clone(),
+            Formula::or(
+                equalities
+                    .iter()
+                    .map(|t| Formula::neq(t.clone(), Term::constant(0)))
+                    .collect(),
+            ),
+        ]);
+        match solver.model(&violation) {
+            None => {
+                return Polyhedron::from_constraints(
+                    equalities.into_iter().map(Constraint::eq).collect(),
+                );
+            }
+            Some(m) => models.push(m),
+        }
+    }
+}
+
+/// Given models over `vars`, returns terms `t` such that `t = 0` holds for
+/// the affine span of the models.
+fn affine_span_equalities(models: &[Valuation], vars: &[Symbol]) -> Vec<Term> {
+    if models.is_empty() || vars.is_empty() {
+        return Vec::new();
+    }
+    let base = &models[0];
+    // Rows are the difference vectors m_i - m_0.
+    let rows: Vec<Vec<Rat>> = models[1..]
+        .iter()
+        .map(|m| {
+            vars.iter()
+                .map(|v| {
+                    let a = m.get(v).cloned().unwrap_or_else(Int::zero);
+                    let b = base.get(v).cloned().unwrap_or_else(Int::zero);
+                    Rat::from_int(a - b)
+                })
+                .collect()
+        })
+        .collect();
+    let normals: Vec<QVec> = if rows.is_empty() {
+        // Affine hull of a single point: every axis direction is a normal.
+        (0..vars.len())
+            .map(|i| {
+                let mut v = QVec::zeros(vars.len());
+                v[i] = Rat::one();
+                v
+            })
+            .collect()
+    } else {
+        // Normal vectors are the null space of the row space, i.e. vectors a
+        // with  D a = 0 where D has the difference vectors as rows.
+        QMat::from_rows(rows).nullspace_basis()
+    };
+
+    normals
+        .iter()
+        .filter(|n| !n.is_zero())
+        .map(|n| {
+            // Build integer term a·x - a·m0 = 0, clearing denominators.
+            let mut denom_lcm = Int::one();
+            for entry in n.iter() {
+                denom_lcm = denom_lcm.lcm(entry.denom());
+            }
+            let mut term = Term::zero();
+            for (i, v) in vars.iter().enumerate() {
+                let coeff = (n[i].numer() * &denom_lcm) / n[i].denom();
+                term = term + Term::var(*v).scale(coeff);
+            }
+            let mut offset = Int::zero();
+            for (i, v) in vars.iter().enumerate() {
+                let coeff = (n[i].numer() * &denom_lcm) / n[i].denom();
+                let value = base.get(v).cloned().unwrap_or_else(Int::zero);
+                offset += coeff * value;
+            }
+            term - Term::constant(offset)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn poly(s: &str) -> Polyhedron {
+        Polyhedron::from_formula_conjuncts(&parse_formula(s).unwrap())
+    }
+
+    #[test]
+    fn hull_of_two_points() {
+        // {x = 0} ∪ {x = 4} hulls to 0 <= x <= 4.
+        let p = hull_pair(&poly("x = 0"), &poly("x = 4"));
+        assert!(p.entails(&Constraint::le(-Term::var(sym("x")))));
+        assert!(p.entails(&Constraint::le(Term::var(sym("x")) - 4)));
+        assert!(!p.entails(&Constraint::le(Term::var(sym("x")) - 3)));
+    }
+
+    #[test]
+    fn hull_of_boxes() {
+        let p = hull_pair(
+            &poly("0 <= x && x <= 1 && 0 <= y && y <= 1"),
+            &poly("3 <= x && x <= 4 && 3 <= y && y <= 4"),
+        );
+        // The hull contains the diagonal band; x and y are bounded by [0,4].
+        assert!(p.entails(&Constraint::le(-Term::var(sym("x")))));
+        assert!(p.entails(&Constraint::le(Term::var(sym("x")) - 4)));
+        assert!(p.entails(&Constraint::le(Term::var(sym("y")) - 4)));
+        // The point (0, 4) is NOT in the hull: the hull entails y <= x + 1.
+        assert!(p.entails(&Constraint::le(
+            Term::var(sym("y")) - Term::var(sym("x")) - 1
+        )));
+    }
+
+    #[test]
+    fn hull_with_empty_operand() {
+        let p = poly("x >= 3");
+        assert_eq!(hull_pair(&p, &Polyhedron::bottom()), p);
+        assert_eq!(hull_pair(&Polyhedron::bottom(), &p), p);
+    }
+
+    #[test]
+    fn convex_hull_of_disjunction() {
+        let solver = Solver::new();
+        let f = parse_formula("(x = 1 && y = 1) || (x = 3 && y = 3)").unwrap();
+        let hull = convex_hull(&solver, &f);
+        // The hull is the segment x = y, 1 <= x <= 3.
+        assert!(hull.entails(&Constraint::eq(Term::var(sym("x")) - Term::var(sym("y")))));
+        assert!(hull.entails(&Constraint::le(Term::constant(1) - Term::var(sym("x")))));
+        assert!(hull.entails(&Constraint::le(Term::var(sym("x")) - 3)));
+    }
+
+    #[test]
+    fn convex_hull_of_unsat_formula() {
+        let solver = Solver::new();
+        let f = parse_formula("x > 0 && x < 0").unwrap();
+        assert!(convex_hull(&solver, &f).is_empty());
+    }
+
+    #[test]
+    fn convex_hull_delta_example() {
+        // The Δ-formula of the inner loop of Fig. 1: dm = 1, dn = -1, dstep = 0.
+        let solver = Solver::new();
+        let f = parse_formula("dm = 1 && dn = -1 && dstep = 0").unwrap();
+        let hull = convex_hull(&solver, &f);
+        assert!(hull.entails(&Constraint::eq(Term::var(sym("dm")) - 1)));
+        assert!(hull.entails(&Constraint::eq(Term::var(sym("dn")) + 1)));
+        assert!(hull.entails(&Constraint::eq(Term::var(sym("dstep")))));
+    }
+
+    #[test]
+    fn affine_hull_of_line() {
+        let solver = Solver::new();
+        // Models lie on the line y = x + 1 (x unconstrained otherwise).
+        let f = parse_formula("y = x + 1").unwrap();
+        let hull = affine_hull(&solver, &f);
+        assert!(hull.entails(&Constraint::eq(
+            Term::var(sym("y")) - Term::var(sym("x")) - 1
+        )));
+        // Must not claim x is fixed.
+        assert!(!hull.entails(&Constraint::eq(Term::var(sym("x")))));
+    }
+
+    #[test]
+    fn affine_hull_of_full_space() {
+        let solver = Solver::new();
+        let f = parse_formula("x >= 0 || x <= 0").unwrap();
+        let hull = affine_hull(&solver, &f);
+        assert!(hull.is_top());
+    }
+
+    #[test]
+    fn affine_hull_of_disjunction_of_points() {
+        let solver = Solver::new();
+        // {(0,0), (2,4)}: affine hull is the line y = 2x.
+        let f = parse_formula("(x = 0 && y = 0) || (x = 2 && y = 4)").unwrap();
+        let hull = affine_hull(&solver, &f);
+        assert!(hull.entails(&Constraint::eq(
+            Term::var(sym("y")) - Term::var(sym("x")).scale(2)
+        )));
+    }
+
+    #[test]
+    fn affine_hull_of_unsat() {
+        let solver = Solver::new();
+        let f = parse_formula("x = 1 && x = 2").unwrap();
+        assert!(affine_hull(&solver, &f).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Convex polyhedra, convex hulls and affine hulls of LIA formulas.
+//!
+//! This crate replaces the polyhedra library (Apron/NewPolka) that the
+//! ComPACT implementation builds on.  It provides:
+//!
+//! * [`Polyhedron`] / [`Constraint`] — convex polyhedra in constraint form,
+//!   with emptiness, entailment, redundancy removal and Fourier–Motzkin
+//!   projection;
+//! * [`hull_pair`] / [`convex_hull`] — convex hull of two polyhedra and
+//!   `conv(F)` of a formula (§3.2 of the paper), used by the `(-)★` operator;
+//! * [`affine_hull`] — the affine hull of a formula (`ρ_aff`, Appendix B),
+//!   used as the closure operator of the inter-procedural summary iteration.
+//!
+//! # Examples
+//!
+//! ```
+//! use compact_logic::parse_formula;
+//! use compact_polyhedra::{convex_hull, Polyhedron};
+//! use compact_smt::Solver;
+//!
+//! let solver = Solver::new();
+//! let f = parse_formula("(x = 0 && y = 0) || (x = 2 && y = 2)").unwrap();
+//! let hull = convex_hull(&solver, &f);
+//! assert!(!hull.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod constraint;
+mod hull;
+
+pub use constraint::{Constraint, Polyhedron};
+pub use hull::{affine_hull, convex_hull, hull_pair};

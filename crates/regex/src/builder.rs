@@ -1,0 +1,72 @@
+//! Convenience constructors for regular expressions.
+
+use crate::Regex;
+
+/// A small helper for building regular expressions from iterators of letters
+/// or sub-expressions.
+///
+/// # Examples
+///
+/// ```
+/// use compact_regex::RegexBuilder;
+/// let e = RegexBuilder::word(['a', 'b', 'c']);
+/// assert_eq!(e.to_string(), "abc");
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RegexBuilder;
+
+impl RegexBuilder {
+    /// The concatenation of the given letters (the empty word for an empty
+    /// iterator).
+    pub fn word<L: Clone>(letters: impl IntoIterator<Item = L>) -> Regex<L> {
+        letters
+            .into_iter()
+            .map(Regex::letter)
+            .fold(Regex::one(), Regex::cat)
+    }
+
+    /// The union of the given expressions (the empty language for an empty
+    /// iterator).
+    pub fn choice<L: Clone>(exprs: impl IntoIterator<Item = Regex<L>>) -> Regex<L> {
+        exprs.into_iter().fold(Regex::zero(), Regex::plus)
+    }
+
+    /// The concatenation of the given expressions (the empty word for an
+    /// empty iterator).
+    pub fn concat_all<L: Clone>(exprs: impl IntoIterator<Item = Regex<L>>) -> Regex<L> {
+        exprs.into_iter().fold(Regex::one(), Regex::cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_words;
+
+    #[test]
+    fn word_builds_concatenation() {
+        let e = RegexBuilder::word([1, 2, 3]);
+        let words = enumerate_words(&e, 5);
+        assert!(words.contains(&vec![1, 2, 3]));
+        assert_eq!(words.len(), 1);
+    }
+
+    #[test]
+    fn choice_builds_union() {
+        let e = RegexBuilder::choice([RegexBuilder::word([1]), RegexBuilder::word([2, 3])]);
+        let words = enumerate_words(&e, 5);
+        assert_eq!(words.len(), 2);
+        assert!(words.contains(&vec![1]));
+        assert!(words.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn empty_iterators() {
+        let w: Regex<char> = RegexBuilder::word(std::iter::empty());
+        assert!(w.is_one());
+        let c: Regex<char> = RegexBuilder::choice(std::iter::empty());
+        assert!(c.is_zero());
+        let a: Regex<char> = RegexBuilder::concat_all(std::iter::empty());
+        assert!(a.is_one());
+    }
+}

@@ -1,0 +1,344 @@
+//! Regular and ω-regular expression syntax.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A node of a regular expression over letters of type `L`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RegexNode<L> {
+    /// The empty language `0`.
+    Zero,
+    /// The language containing only the empty word, `1`.
+    One,
+    /// A single letter.
+    Letter(L),
+    /// Union `e₁ + e₂`.
+    Plus(Regex<L>, Regex<L>),
+    /// Concatenation `e₁ · e₂`.
+    Cat(Regex<L>, Regex<L>),
+    /// Kleene star `e*`.
+    Star(Regex<L>),
+}
+
+/// A regular expression, reference-counted so that Tarjan's path-expression
+/// algorithm can share sub-expressions and interpretations can be memoised
+/// per shared node (§2, "the expression can be represented efficiently as a
+/// DAG").
+///
+/// # Examples
+///
+/// ```
+/// use compact_regex::Regex;
+/// let e = Regex::cat(Regex::letter('a'), Regex::star(Regex::letter('b')));
+/// assert_eq!(e.to_string(), "a(b)*");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Regex<L>(Rc<RegexNode<L>>);
+
+impl<L> Regex<L> {
+    /// The empty language.
+    pub fn zero() -> Regex<L> {
+        Regex(Rc::new(RegexNode::Zero))
+    }
+
+    /// The empty word.
+    pub fn one() -> Regex<L> {
+        Regex(Rc::new(RegexNode::One))
+    }
+
+    /// A single letter.
+    pub fn letter(l: L) -> Regex<L> {
+        Regex(Rc::new(RegexNode::Letter(l)))
+    }
+
+    /// Union, with `0` as the unit.
+    pub fn plus(a: Regex<L>, b: Regex<L>) -> Regex<L> {
+        match (a.node(), b.node()) {
+            (RegexNode::Zero, _) => b,
+            (_, RegexNode::Zero) => a,
+            _ => Regex(Rc::new(RegexNode::Plus(a, b))),
+        }
+    }
+
+    /// Concatenation, with `1` as the unit and `0` as the zero.
+    pub fn cat(a: Regex<L>, b: Regex<L>) -> Regex<L> {
+        match (a.node(), b.node()) {
+            (RegexNode::Zero, _) | (_, RegexNode::Zero) => Regex::zero(),
+            (RegexNode::One, _) => b,
+            (_, RegexNode::One) => a,
+            _ => Regex(Rc::new(RegexNode::Cat(a, b))),
+        }
+    }
+
+    /// Kleene star (with `0* = 1* = 1` and `(e*)* = e*`).
+    pub fn star(a: Regex<L>) -> Regex<L> {
+        match a.node() {
+            RegexNode::Zero | RegexNode::One => Regex::one(),
+            RegexNode::Star(_) => a,
+            _ => Regex(Rc::new(RegexNode::Star(a))),
+        }
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &RegexNode<L> {
+        &self.0
+    }
+
+    /// A stable identifier for this shared node (used for memoisation).
+    pub fn id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// Returns `true` if this is syntactically the empty language.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.node(), RegexNode::Zero)
+    }
+
+    /// Returns `true` if this is syntactically the empty word.
+    pub fn is_one(&self) -> bool {
+        matches!(self.node(), RegexNode::One)
+    }
+
+    /// The number of distinct nodes in the DAG rooted at this expression.
+    pub fn dag_size(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        fn walk<L>(e: &Regex<L>, seen: &mut std::collections::HashSet<usize>) {
+            if !seen.insert(e.id()) {
+                return;
+            }
+            match e.node() {
+                RegexNode::Zero | RegexNode::One | RegexNode::Letter(_) => {}
+                RegexNode::Plus(a, b) | RegexNode::Cat(a, b) => {
+                    walk(a, seen);
+                    walk(b, seen);
+                }
+                RegexNode::Star(a) => walk(a, seen),
+            }
+        }
+        walk(self, &mut seen);
+        seen.len()
+    }
+
+    /// The number of nodes counted as a tree (no sharing).
+    pub fn tree_size(&self) -> usize {
+        match self.node() {
+            RegexNode::Zero | RegexNode::One | RegexNode::Letter(_) => 1,
+            RegexNode::Plus(a, b) | RegexNode::Cat(a, b) => 1 + a.tree_size() + b.tree_size(),
+            RegexNode::Star(a) => 1 + a.tree_size(),
+        }
+    }
+
+    /// The letters occurring in the expression.
+    pub fn letters(&self) -> Vec<L>
+    where
+        L: Clone + PartialEq,
+    {
+        let mut out = Vec::new();
+        fn walk<L: Clone + PartialEq>(e: &Regex<L>, out: &mut Vec<L>) {
+            match e.node() {
+                RegexNode::Letter(l) => {
+                    if !out.contains(l) {
+                        out.push(l.clone());
+                    }
+                }
+                RegexNode::Zero | RegexNode::One => {}
+                RegexNode::Plus(a, b) | RegexNode::Cat(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                RegexNode::Star(a) => walk(a, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl<L: fmt::Display + Clone> fmt::Display for Regex<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            RegexNode::Zero => write!(f, "0"),
+            RegexNode::One => write!(f, "1"),
+            RegexNode::Letter(l) => write!(f, "{}", l),
+            RegexNode::Plus(a, b) => write!(f, "({} + {})", a, b),
+            RegexNode::Cat(a, b) => write!(f, "{}{}", a, b),
+            RegexNode::Star(a) => match a.node() {
+                RegexNode::Letter(_) => write!(f, "({})*", a),
+                _ => write!(f, "({})*", a),
+            },
+        }
+    }
+}
+
+/// A node of an ω-regular expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OmegaRegexNode<L> {
+    /// The empty ω-language.
+    Zero,
+    /// Infinite repetition `e^ω`.
+    Omega(Regex<L>),
+    /// Prefixing `e · f`.
+    Cat(Regex<L>, OmegaRegex<L>),
+    /// Union `f₁ + f₂`.
+    Plus(OmegaRegex<L>, OmegaRegex<L>),
+}
+
+/// An ω-regular expression, recognizing a set of infinite words.
+///
+/// # Examples
+///
+/// ```
+/// use compact_regex::{OmegaRegex, Regex};
+/// let loop_forever = OmegaRegex::omega(Regex::letter("body"));
+/// let f = OmegaRegex::cat(Regex::letter("init"), loop_forever);
+/// assert_eq!(f.to_string(), "init(body)^w");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OmegaRegex<L>(Rc<OmegaRegexNode<L>>);
+
+impl<L> OmegaRegex<L> {
+    /// The empty ω-language.
+    pub fn zero() -> OmegaRegex<L> {
+        OmegaRegex(Rc::new(OmegaRegexNode::Zero))
+    }
+
+    /// Infinite repetition of a regular expression.  `0^ω` is empty.
+    pub fn omega(e: Regex<L>) -> OmegaRegex<L> {
+        if e.is_zero() || e.is_one() {
+            // `1^ω` contains only the empty "infinite" word, which is not an
+            // infinite path; treat it as empty like `0^ω`.
+            return OmegaRegex::zero();
+        }
+        OmegaRegex(Rc::new(OmegaRegexNode::Omega(e)))
+    }
+
+    /// Prefixes an ω-language with a regular language.
+    pub fn cat(e: Regex<L>, f: OmegaRegex<L>) -> OmegaRegex<L> {
+        if e.is_zero() || f.is_zero() {
+            return OmegaRegex::zero();
+        }
+        if e.is_one() {
+            return f;
+        }
+        OmegaRegex(Rc::new(OmegaRegexNode::Cat(e, f)))
+    }
+
+    /// Union of ω-languages, with the empty language as the unit.
+    pub fn plus(a: OmegaRegex<L>, b: OmegaRegex<L>) -> OmegaRegex<L> {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        OmegaRegex(Rc::new(OmegaRegexNode::Plus(a, b)))
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &OmegaRegexNode<L> {
+        &self.0
+    }
+
+    /// A stable identifier for this shared node (used for memoisation).
+    pub fn id(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// Returns `true` if this is syntactically the empty ω-language.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.node(), OmegaRegexNode::Zero)
+    }
+
+    /// The number of distinct ω-nodes in the DAG (regular sub-expressions are
+    /// not counted).
+    pub fn dag_size(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        fn walk<L>(e: &OmegaRegex<L>, seen: &mut std::collections::HashSet<usize>) {
+            if !seen.insert(e.id()) {
+                return;
+            }
+            match e.node() {
+                OmegaRegexNode::Zero | OmegaRegexNode::Omega(_) => {}
+                OmegaRegexNode::Cat(_, f) => walk(f, seen),
+                OmegaRegexNode::Plus(a, b) => {
+                    walk(a, seen);
+                    walk(b, seen);
+                }
+            }
+        }
+        walk(self, &mut seen);
+        seen.len()
+    }
+}
+
+impl<L: fmt::Display + Clone> fmt::Display for OmegaRegex<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node() {
+            OmegaRegexNode::Zero => write!(f, "0^w"),
+            OmegaRegexNode::Omega(e) => write!(f, "({})^w", e),
+            OmegaRegexNode::Cat(e, g) => write!(f, "{}{}", e, g),
+            OmegaRegexNode::Plus(a, b) => write!(f, "({} + {})", a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_smart_constructors() {
+        let a = Regex::letter('a');
+        let b = Regex::letter('b');
+        assert_eq!(Regex::plus(Regex::zero(), a.clone()), a);
+        assert_eq!(Regex::plus(a.clone(), Regex::zero()), a);
+        assert!(Regex::cat(Regex::zero(), a.clone()).is_zero());
+        assert_eq!(Regex::cat(Regex::one(), b.clone()), b);
+        assert_eq!(Regex::cat(b.clone(), Regex::one()), b);
+        assert!(Regex::star(Regex::<char>::zero()).is_one());
+        assert!(Regex::star(Regex::<char>::one()).is_one());
+        let s = Regex::star(a.clone());
+        assert_eq!(Regex::star(s.clone()), s);
+    }
+
+    #[test]
+    fn omega_smart_constructors() {
+        let a = Regex::letter('a');
+        let w = OmegaRegex::omega(a.clone());
+        assert!(OmegaRegex::omega(Regex::<char>::zero()).is_zero());
+        assert!(OmegaRegex::cat(Regex::zero(), w.clone()).is_zero());
+        assert_eq!(OmegaRegex::cat(Regex::one(), w.clone()), w);
+        assert_eq!(OmegaRegex::plus(OmegaRegex::zero(), w.clone()), w);
+        assert_eq!(OmegaRegex::plus(w.clone(), OmegaRegex::zero()), w);
+    }
+
+    #[test]
+    fn sharing_is_visible_in_dag_size() {
+        let a = Regex::letter('a');
+        let inner = Regex::cat(a.clone(), a.clone());
+        let shared = Regex::plus(inner.clone(), Regex::star(inner.clone()));
+        // Tree size counts `inner` twice, DAG size once.
+        assert!(shared.dag_size() < shared.tree_size());
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Regex::letter('a');
+        let b = Regex::letter('b');
+        let e = Regex::cat(a.clone(), Regex::star(b.clone()));
+        assert_eq!(e.to_string(), "a(b)*");
+        let f = OmegaRegex::cat(a, OmegaRegex::omega(b));
+        assert_eq!(f.to_string(), "a(b)^w");
+    }
+
+    #[test]
+    fn letters_collects_unique_letters() {
+        let e = Regex::cat(
+            Regex::letter(1),
+            Regex::plus(Regex::letter(2), Regex::star(Regex::letter(1))),
+        );
+        let mut ls = e.letters();
+        ls.sort();
+        assert_eq!(ls, vec![1, 2]);
+    }
+}

@@ -1,0 +1,331 @@
+//! Bounded language enumeration, used to test that path expressions
+//! recognize exactly the paths of a graph.
+
+use crate::{OmegaRegex, OmegaRegexNode, Regex, RegexNode};
+use std::collections::BTreeSet;
+
+/// Enumerates every word of length at most `max_len` recognized by the
+/// regular expression.
+///
+/// This is exponential in general and intended only for testing on small
+/// expressions.
+pub fn enumerate_words<L: Clone + Ord>(e: &Regex<L>, max_len: usize) -> BTreeSet<Vec<L>> {
+    match e.node() {
+        RegexNode::Zero => BTreeSet::new(),
+        RegexNode::One => [Vec::new()].into_iter().collect(),
+        RegexNode::Letter(l) => {
+            if max_len == 0 {
+                BTreeSet::new()
+            } else {
+                [vec![l.clone()]].into_iter().collect()
+            }
+        }
+        RegexNode::Plus(a, b) => {
+            let mut out = enumerate_words(a, max_len);
+            out.extend(enumerate_words(b, max_len));
+            out
+        }
+        RegexNode::Cat(a, b) => {
+            let left = enumerate_words(a, max_len);
+            let right = enumerate_words(b, max_len);
+            let mut out = BTreeSet::new();
+            for l in &left {
+                for r in &right {
+                    if l.len() + r.len() <= max_len {
+                        let mut w = l.clone();
+                        w.extend(r.iter().cloned());
+                        out.insert(w);
+                    }
+                }
+            }
+            out
+        }
+        RegexNode::Star(a) => {
+            let base = enumerate_words(a, max_len);
+            let mut out: BTreeSet<Vec<L>> = [Vec::new()].into_iter().collect();
+            // Repeatedly append words of `a` until saturation.
+            loop {
+                let mut added = false;
+                let snapshot: Vec<Vec<L>> = out.iter().cloned().collect();
+                for w in &snapshot {
+                    for b in &base {
+                        if b.is_empty() {
+                            continue;
+                        }
+                        if w.len() + b.len() <= max_len {
+                            let mut nw = w.clone();
+                            nw.extend(b.iter().cloned());
+                            if out.insert(nw) {
+                                added = true;
+                            }
+                        }
+                    }
+                }
+                if !added {
+                    return out;
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates every *prefix* of length at most `max_len` of the words
+/// recognized by the expression (including prefixes of words longer than
+/// `max_len`).
+pub fn prefix_words<L: Clone + Ord>(e: &Regex<L>, max_len: usize) -> BTreeSet<Vec<L>> {
+    match e.node() {
+        RegexNode::Zero => BTreeSet::new(),
+        RegexNode::One => [Vec::new()].into_iter().collect(),
+        RegexNode::Letter(l) => {
+            let mut out: BTreeSet<Vec<L>> = [Vec::new()].into_iter().collect();
+            if max_len >= 1 {
+                out.insert(vec![l.clone()]);
+            }
+            out
+        }
+        RegexNode::Plus(a, b) => {
+            let mut out = prefix_words(a, max_len);
+            out.extend(prefix_words(b, max_len));
+            out
+        }
+        RegexNode::Cat(a, b) => {
+            // Either a prefix of `a`, or a full word of `a` followed by a
+            // prefix of `b` (only valid when `b` recognizes some word, which
+            // it always does unless it is empty — handled by recursion
+            // returning an empty set).
+            let mut out = BTreeSet::new();
+            let b_prefixes_nonempty = !prefix_words(b, 0).is_empty();
+            if b_prefixes_nonempty {
+                out.extend(prefix_words(a, max_len));
+            }
+            for u in enumerate_words(a, max_len) {
+                for v in prefix_words(b, max_len - u.len()) {
+                    let mut w = u.clone();
+                    w.extend(v);
+                    out.insert(w);
+                }
+            }
+            out
+        }
+        RegexNode::Star(a) => {
+            let mut out = BTreeSet::new();
+            for u in enumerate_words(&Regex::star(a.clone()), max_len) {
+                out.insert(u.clone());
+                for v in prefix_words(a, max_len - u.len()) {
+                    let mut w = u.clone();
+                    w.extend(v);
+                    out.insert(w);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Returns `true` if the regular expression recognizes at least one word
+/// containing at least one letter.
+fn has_nonempty_word<L: Clone>(e: &Regex<L>) -> bool {
+    match e.node() {
+        RegexNode::Zero | RegexNode::One => false,
+        RegexNode::Letter(_) => true,
+        RegexNode::Plus(a, b) => has_nonempty_word(a) || has_nonempty_word(b),
+        RegexNode::Cat(a, b) => {
+            (has_nonempty_word(a) && recognizes_some_word(b))
+                || (recognizes_some_word(a) && has_nonempty_word(b))
+        }
+        RegexNode::Star(a) => has_nonempty_word(a),
+    }
+}
+
+/// Returns `true` if the regular expression recognizes at least one word
+/// (possibly empty).
+fn recognizes_some_word<L: Clone>(e: &Regex<L>) -> bool {
+    match e.node() {
+        RegexNode::Zero => false,
+        RegexNode::One | RegexNode::Letter(_) | RegexNode::Star(_) => true,
+        RegexNode::Plus(a, b) => recognizes_some_word(a) || recognizes_some_word(b),
+        RegexNode::Cat(a, b) => recognizes_some_word(a) && recognizes_some_word(b),
+    }
+}
+
+/// Returns `true` if the ω-regular expression recognizes at least one
+/// infinite word.
+pub fn omega_nonempty<L: Clone>(f: &OmegaRegex<L>) -> bool {
+    match f.node() {
+        OmegaRegexNode::Zero => false,
+        OmegaRegexNode::Omega(e) => has_nonempty_word(e),
+        OmegaRegexNode::Cat(e, g) => recognizes_some_word(e) && omega_nonempty(g),
+        OmegaRegexNode::Plus(a, b) => omega_nonempty(a) || omega_nonempty(b),
+    }
+}
+
+/// Enumerates every prefix of length exactly `len` of the infinite words
+/// recognized by the ω-regular expression.
+///
+/// Like [`enumerate_words`], this is a testing utility.
+pub fn omega_prefix_words<L: Clone + Ord>(f: &OmegaRegex<L>, len: usize) -> BTreeSet<Vec<L>> {
+    match f.node() {
+        OmegaRegexNode::Zero => BTreeSet::new(),
+        OmegaRegexNode::Omega(e) => {
+            if !has_nonempty_word(e) {
+                return BTreeSet::new();
+            }
+            // Words of e^ω restricted to length `len`: concatenations of
+            // words of e, ending with a prefix of a word of e, of total
+            // length exactly `len`.
+            let words = enumerate_words(e, len);
+            let prefixes = prefix_words(e, len);
+            let mut out = BTreeSet::new();
+            let mut frontier: BTreeSet<Vec<L>> = [Vec::new()].into_iter().collect();
+            let mut seen: BTreeSet<Vec<L>> = frontier.clone();
+            while let Some(w) = frontier.iter().next().cloned() {
+                frontier.remove(&w);
+                // Complete the current concatenation with a prefix.
+                for p in &prefixes {
+                    if w.len() + p.len() == len {
+                        let mut full = w.clone();
+                        full.extend(p.iter().cloned());
+                        out.insert(full);
+                    }
+                }
+                // Extend with another full word of e.
+                for word in &words {
+                    if word.is_empty() || w.len() + word.len() > len {
+                        continue;
+                    }
+                    let mut nw = w.clone();
+                    nw.extend(word.iter().cloned());
+                    if seen.insert(nw.clone()) {
+                        frontier.insert(nw);
+                    }
+                }
+            }
+            out
+        }
+        OmegaRegexNode::Cat(e, g) => {
+            let mut out = BTreeSet::new();
+            if !omega_nonempty(g) {
+                return out;
+            }
+            // Full word of e followed by a prefix of g.
+            for u in enumerate_words(e, len) {
+                for r in omega_prefix_words(g, len - u.len()) {
+                    let mut w = u.clone();
+                    w.extend(r);
+                    out.insert(w);
+                }
+            }
+            // Or a length-`len` prefix of a (possibly longer) word of e.
+            for p in prefix_words(e, len) {
+                if p.len() == len {
+                    out.insert(p);
+                }
+            }
+            out
+        }
+        OmegaRegexNode::Plus(a, b) => {
+            let mut out = omega_prefix_words(a, len);
+            out.extend(omega_prefix_words(b, len));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_of_simple_expressions() {
+        let e = Regex::cat(
+            Regex::letter('a'),
+            Regex::star(Regex::plus(Regex::letter('b'), Regex::letter('c'))),
+        );
+        let words = enumerate_words(&e, 2);
+        assert!(words.contains(&vec!['a']));
+        assert!(words.contains(&vec!['a', 'b']));
+        assert!(words.contains(&vec!['a', 'c']));
+        assert!(!words.contains(&vec!['b']));
+        assert_eq!(words.len(), 3);
+    }
+
+    #[test]
+    fn star_generates_repetitions() {
+        let e = Regex::star(Regex::letter('x'));
+        let words = enumerate_words(&e, 3);
+        assert_eq!(words.len(), 4); // "", x, xx, xxx
+    }
+
+    #[test]
+    fn prefixes_cut_long_words() {
+        // abc has prefixes "", a, ab (and abc) up to length 2: "", a, ab.
+        let e = Regex::cat(
+            Regex::cat(Regex::letter('a'), Regex::letter('b')),
+            Regex::letter('c'),
+        );
+        let p = prefix_words(&e, 2);
+        assert!(p.contains(&vec![]));
+        assert!(p.contains(&vec!['a']));
+        assert!(p.contains(&vec!['a', 'b']));
+        assert_eq!(p.len(), 3);
+        // A zero branch contributes no prefixes.
+        let z = Regex::cat(Regex::letter('a'), Regex::zero());
+        assert!(prefix_words(&z, 3).is_empty());
+    }
+
+    #[test]
+    fn omega_prefixes() {
+        // (ab)^ω has prefixes a, ab, aba, abab, ...
+        let e = Regex::cat(Regex::letter('a'), Regex::letter('b'));
+        let f = OmegaRegex::omega(e);
+        let p3 = omega_prefix_words(&f, 3);
+        assert_eq!(p3, [vec!['a', 'b', 'a']].into_iter().collect());
+        let p0 = omega_prefix_words(&f, 0);
+        assert_eq!(p0.len(), 1);
+        assert!(omega_nonempty(&f));
+    }
+
+    #[test]
+    fn omega_prefix_cuts_into_finite_part() {
+        // (a + bc) d^ω : prefixes of length 1 are {a, b}.
+        let f = OmegaRegex::cat(
+            Regex::plus(
+                Regex::letter('a'),
+                Regex::cat(Regex::letter('b'), Regex::letter('c')),
+            ),
+            OmegaRegex::omega(Regex::letter('d')),
+        );
+        let p1 = omega_prefix_words(&f, 1);
+        assert_eq!(p1, [vec!['a'], vec!['b']].into_iter().collect());
+        let p3 = omega_prefix_words(&f, 3);
+        assert!(p3.contains(&vec!['a', 'd', 'd']));
+        assert!(p3.contains(&vec!['b', 'c', 'd']));
+        assert_eq!(p3.len(), 2);
+    }
+
+    #[test]
+    fn omega_choice_and_prefixing() {
+        // a (b^ω + c^ω)
+        let f = OmegaRegex::cat(
+            Regex::letter('a'),
+            OmegaRegex::plus(
+                OmegaRegex::omega(Regex::letter('b')),
+                OmegaRegex::omega(Regex::letter('c')),
+            ),
+        );
+        let p2 = omega_prefix_words(&f, 2);
+        assert!(p2.contains(&vec!['a', 'b']));
+        assert!(p2.contains(&vec!['a', 'c']));
+        assert_eq!(p2.len(), 2);
+    }
+
+    #[test]
+    fn empty_omega_language_has_no_prefixes() {
+        let f: OmegaRegex<char> = OmegaRegex::zero();
+        assert!(omega_prefix_words(&f, 2).is_empty());
+        assert!(!omega_nonempty(&f));
+        // e^ω where e recognizes only the empty word is also empty.
+        let g = OmegaRegex::cat(Regex::letter('a'), OmegaRegex::omega(Regex::star(Regex::zero())));
+        assert!(omega_prefix_words(&g, 1).is_empty());
+    }
+}

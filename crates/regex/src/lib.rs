@@ -1,0 +1,28 @@
+//! Regular and ω-regular expressions with interpretation algebras.
+//!
+//! This crate implements the syntactic side of algebraic program analysis
+//! (§3.1 and §5 of *"Termination Analysis without the Tears"*):
+//!
+//! * [`Regex`] — regular expressions over an arbitrary alphabet, built as a
+//!   hash-consed DAG so that shared sub-expressions are represented once;
+//! * [`OmegaRegex`] — ω-regular expressions (`e^ω`, `e·f`, `f₁ + f₂`);
+//! * [`RegularAlgebra`] / [`OmegaAlgebra`] — the interpretation interface of
+//!   §5: a regular algebra has `0`, `1`, `+`, `·`, `*`; an ω-algebra over it
+//!   has `·`, `+`, and `ω`;
+//! * [`Interpretation`] — memoised bottom-up evaluation of (ω-)regular
+//!   expressions within a pair of algebras (the "Step 2" of §2).
+//!
+//! The concrete algebras used by the termination analysis (transition
+//! formulas and mortal preconditions) live in `compact-tf`.
+
+#![warn(missing_docs)]
+
+mod algebra;
+mod builder;
+mod expr;
+mod language;
+
+pub use algebra::{Interpretation, OmegaAlgebra, RegularAlgebra};
+pub use builder::RegexBuilder;
+pub use expr::{OmegaRegex, OmegaRegexNode, Regex, RegexNode};
+pub use language::{enumerate_words, omega_nonempty, omega_prefix_words, prefix_words};

@@ -1,0 +1,344 @@
+//! Cooper's quantifier elimination procedure for Presburger arithmetic.
+//!
+//! Given a formula of linear integer arithmetic, [`eliminate_quantifiers`]
+//! produces an equivalent quantifier-free formula.  The procedure is the
+//! classic one (Cooper 1972): normalize the coefficient of the eliminated
+//! variable, then replace the existential by a finite disjunction over the
+//! "small" solutions `F_{-∞}(j)` and the solutions just above a lower bound
+//! `F(b + j)`.
+//!
+//! Quantifier elimination is the engine behind the `mpexp` operator (§6.1 of
+//! the paper), the `Pre`/`Post` projections of the `(-)★` operator (§3.3) and
+//! weakest-precondition validity checks.
+
+use compact_arith::Int;
+use compact_logic::{Atom, Formula, Symbol, Term};
+use std::collections::BTreeMap;
+
+/// Eliminates every quantifier of a formula, returning an equivalent
+/// quantifier-free formula.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::parse_formula;
+/// use compact_smt::eliminate_quantifiers;
+/// let f = parse_formula("exists k. k >= 0 && x = 2*k").unwrap();
+/// let g = eliminate_quantifiers(&f);
+/// assert!(g.is_quantifier_free());
+/// ```
+pub fn eliminate_quantifiers(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) => f.clone(),
+        Formula::And(parts) => {
+            Formula::and(parts.iter().map(eliminate_quantifiers).collect())
+        }
+        Formula::Or(parts) => Formula::or(parts.iter().map(eliminate_quantifiers).collect()),
+        Formula::Not(inner) => Formula::not(eliminate_quantifiers(inner)),
+        Formula::Exists(vars, body) => {
+            let mut result = eliminate_quantifiers(body);
+            // Eliminate the innermost variable first.
+            for v in vars.iter().rev() {
+                result = eliminate_exists(*v, &result);
+            }
+            result
+        }
+        Formula::Forall(vars, body) => {
+            let negated = Formula::not((**body).clone());
+            let mut result = eliminate_quantifiers(&negated);
+            for v in vars.iter().rev() {
+                result = eliminate_exists(*v, &result);
+            }
+            Formula::not(result)
+        }
+    }
+}
+
+/// Eliminates a single existential quantifier `∃x. f` where `f` is
+/// quantifier-free.
+///
+/// # Panics
+///
+/// Panics if `f` contains quantifiers.
+pub fn eliminate_exists(x: Symbol, f: &Formula) -> Formula {
+    assert!(f.is_quantifier_free(), "eliminate_exists requires a quantifier-free body");
+    let f = prepare(x, &f.nnf());
+    if !f.free_vars().contains(&x) {
+        return f;
+    }
+
+    // Compute m = lcm of |coefficient of x| over atoms containing x.
+    let mut m = Int::one();
+    for atom in f.atoms() {
+        let c = atom.term().coeff(&x);
+        if !c.is_zero() {
+            m = m.lcm(&c.abs());
+        }
+    }
+
+    // Scale every atom containing x so that the coefficient of x is ±m, then
+    // replace m·x by a fresh variable y (adding m | y).
+    let y = Symbol::fresh(&format!("{}#cooper", x.name()));
+    let scaled = map_atoms(&f, &mut |atom| {
+        let c = atom.term().coeff(&x);
+        if c.is_zero() {
+            return Formula::atom(atom.clone());
+        }
+        let k = &m / &c.abs();
+        let atom = match atom {
+            Atom::Le(t) => Atom::Le(t.scale(k.clone())),
+            Atom::Divides(d, t) => Atom::Divides(d * &k, t.scale(k.clone())),
+            Atom::NotDivides(d, t) => Atom::NotDivides(d * &k, t.scale(k.clone())),
+            Atom::Eq(_) | Atom::Neq(_) => unreachable!("rewritten by prepare"),
+        };
+        // Replace (±m)·x with (±1)·y.
+        let t = atom.term();
+        let (coeff_mx, rest) = t.split_var(&x);
+        debug_assert!(coeff_mx.abs() == m);
+        let sign = if coeff_mx.is_positive() { 1i64 } else { -1 };
+        let new_term = rest + Term::var(y) * sign;
+        Formula::atom(match atom {
+            Atom::Le(_) => Atom::Le(new_term),
+            Atom::Divides(d, _) => Atom::Divides(d, new_term),
+            Atom::NotDivides(d, _) => Atom::NotDivides(d, new_term),
+            Atom::Eq(_) | Atom::Neq(_) => unreachable!(),
+        })
+    });
+    let g = if m.is_one() {
+        scaled
+    } else {
+        Formula::and(vec![scaled, Formula::atom(Atom::Divides(m.clone(), Term::var(y)))])
+    };
+
+    // δ = lcm of divisibility moduli mentioning y.
+    let mut delta = Int::one();
+    for atom in g.atoms() {
+        match atom {
+            Atom::Divides(d, t) | Atom::NotDivides(d, t) => {
+                if t.contains_var(&y) {
+                    delta = delta.lcm(d);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Lower-bound terms: atoms  -y + t <= 0  (y >= t), strict bound b = t - 1.
+    let mut lower_bounds: Vec<Term> = Vec::new();
+    for atom in g.atoms() {
+        if let Atom::Le(t) = atom {
+            let c = t.coeff(&y);
+            if c == Int::from(-1) {
+                let (_, rest) = t.split_var(&y);
+                let b = rest - 1;
+                if !lower_bounds.contains(&b) {
+                    lower_bounds.push(b);
+                }
+            }
+        }
+    }
+
+    // F_{-∞}: upper bounds become true, lower bounds become false.
+    let minus_infinity = map_atoms(&g, &mut |atom| {
+        if let Atom::Le(t) = atom {
+            let c = t.coeff(&y);
+            if c.is_one() {
+                return Formula::True;
+            }
+            if c == Int::from(-1) {
+                return Formula::False;
+            }
+        }
+        Formula::atom(atom.clone())
+    });
+
+    let delta_i64 = delta.to_i64().unwrap_or(i64::MAX);
+    let mut disjuncts: Vec<Formula> = Vec::new();
+    let mut j = Int::one();
+    let mut count = 0i64;
+    while count < delta_i64 {
+        // F_{-∞}[y := j]
+        let mut map = BTreeMap::new();
+        map.insert(y, Term::constant(j.clone()));
+        disjuncts.push(minus_infinity.substitute(&map));
+        // F[y := b + j] for each lower bound b.
+        for b in &lower_bounds {
+            let mut map = BTreeMap::new();
+            map.insert(y, b.clone() + Term::constant(j.clone()));
+            disjuncts.push(g.substitute(&map));
+        }
+        j += Int::one();
+        count += 1;
+    }
+    Formula::or(disjuncts).simplify()
+}
+
+/// Rewrites equality and disequality atoms that mention `x` into
+/// inequalities, so that only `Le`, `Divides` and `NotDivides` atoms contain
+/// `x`.  The input must be in NNF.
+fn prepare(x: Symbol, f: &Formula) -> Formula {
+    map_atoms(f, &mut |atom| match atom {
+        Atom::Eq(t) if t.contains_var(&x) => Formula::and(vec![
+            Formula::atom(Atom::Le(t.clone())),
+            Formula::atom(Atom::Le(-t.clone())),
+        ]),
+        Atom::Neq(t) if t.contains_var(&x) => Formula::or(vec![
+            Formula::atom(Atom::Le(t.clone() + 1)),
+            Formula::atom(Atom::Le(Term::constant(1) - t.clone())),
+        ]),
+        other => Formula::atom(other.clone()),
+    })
+}
+
+/// Applies a transformation to every atom of a quantifier-free formula.
+fn map_atoms(f: &Formula, transform: &mut impl FnMut(&Atom) -> Formula) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(a) => transform(a),
+        Formula::And(parts) => {
+            Formula::and(parts.iter().map(|p| map_atoms(p, transform)).collect())
+        }
+        Formula::Or(parts) => {
+            Formula::or(parts.iter().map(|p| map_atoms(p, transform)).collect())
+        }
+        Formula::Not(inner) => Formula::not(map_atoms(inner, transform)),
+        Formula::Exists(vars, body) => {
+            Formula::exists(vars.clone(), map_atoms(body, transform))
+        }
+        Formula::Forall(vars, body) => {
+            Formula::forall(vars.clone(), map_atoms(body, transform))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::{parse_formula, Valuation};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// Checks that `f` and `g` agree on every valuation of `vars` over a
+    /// small grid.
+    fn assert_equiv_on_grid(f: &Formula, g: &Formula, vars: &[&str], lo: i64, hi: i64) {
+        fn rec(
+            f: &Formula,
+            g: &Formula,
+            vars: &[&str],
+            lo: i64,
+            hi: i64,
+            idx: usize,
+            v: &mut Valuation,
+        ) {
+            if idx == vars.len() {
+                assert_eq!(
+                    f.eval(v),
+                    g.eval(v),
+                    "formulas disagree at {}: {} vs {}",
+                    v,
+                    f,
+                    g
+                );
+                return;
+            }
+            for val in lo..=hi {
+                v.set(sym(vars[idx]), val.into());
+                rec(f, g, vars, lo, hi, idx + 1, v);
+            }
+        }
+        let mut v = Valuation::new();
+        rec(f, g, vars, lo, hi, 0, &mut v);
+    }
+
+    #[test]
+    fn eliminate_even_number() {
+        // exists k. x = 2k  ⇔  2 | x
+        let f = parse_formula("exists k. x = 2*k").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert!(g.is_quantifier_free());
+        let expected = parse_formula("2 | x").unwrap();
+        assert_equiv_on_grid(&g, &expected, &["x"], -6, 6);
+    }
+
+    #[test]
+    fn eliminate_bounded_existential() {
+        // exists y. 0 <= y && y <= x  ⇔  x >= 0
+        let f = parse_formula("exists y. 0 <= y && y <= x").unwrap();
+        let g = eliminate_quantifiers(&f);
+        let expected = parse_formula("x >= 0").unwrap();
+        assert_equiv_on_grid(&g, &expected, &["x"], -5, 5);
+    }
+
+    #[test]
+    fn eliminate_universal() {
+        // forall y. y >= 0 -> x + y >= 0   ⇔  x >= 0
+        let f = parse_formula("forall y. y >= 0 -> x + y >= 0").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert!(g.is_quantifier_free());
+        let expected = parse_formula("x >= 0").unwrap();
+        assert_equiv_on_grid(&g, &expected, &["x"], -5, 5);
+    }
+
+    #[test]
+    fn eliminate_with_coefficients() {
+        // exists y. 2*y <= x && x <= 2*y + 1  is true for every x
+        let f = parse_formula("exists y. 2*y <= x && x <= 2*y + 1").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert_equiv_on_grid(&g, &Formula::True, &["x"], -6, 6);
+    }
+
+    #[test]
+    fn eliminate_with_gap() {
+        // exists y. 3*y = x  ⇔ 3 | x
+        let f = parse_formula("exists y. 3*y = x").unwrap();
+        let g = eliminate_quantifiers(&f);
+        let expected = parse_formula("3 | x").unwrap();
+        assert_equiv_on_grid(&g, &expected, &["x"], -9, 9);
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // exists y. (forall z. z >= y -> z >= x)  ⇔  exists y. y >= x  ⇔ true
+        let f = parse_formula("exists y. (forall z. z >= y -> z >= x)").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert_equiv_on_grid(&g, &Formula::True, &["x"], -4, 4);
+    }
+
+    #[test]
+    fn unsat_sentence() {
+        // exists x. x <= 0 && x >= 1  ⇔ false
+        let f = parse_formula("exists x. x <= 0 && x >= 1").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert_equiv_on_grid(&g, &Formula::False, &[], 0, 0);
+    }
+
+    #[test]
+    fn disequality_under_quantifier() {
+        // exists y. y != x && 0 <= y && y <= 1   ⇔  true (some y in {0,1} differs from x... only if x is not both) — actually
+        // for any x, at least one of 0, 1 differs from x, so this is true.
+        let f = parse_formula("exists y. y != x && 0 <= y && y <= 1").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert_equiv_on_grid(&g, &Formula::True, &["x"], -3, 3);
+    }
+
+    #[test]
+    fn two_variable_projection() {
+        // exists y. x = y + z && y >= 0   ⇔  x >= z
+        let f = parse_formula("exists y. x = y + z && y >= 0").unwrap();
+        let g = eliminate_quantifiers(&f);
+        let expected = parse_formula("x >= z").unwrap();
+        assert_equiv_on_grid(&g, &expected, &["x", "z"], -4, 4);
+    }
+
+    #[test]
+    fn forall_with_divisibility() {
+        // forall y. 2 | y -> y != 2*x + 1 ... every even y differs from an odd
+        // number, so this is true for all x.
+        let f = parse_formula("forall y. (2 | y) -> y != 2*x + 1").unwrap();
+        let g = eliminate_quantifiers(&f);
+        assert_equiv_on_grid(&g, &Formula::True, &["x"], -4, 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Satisfiability, validity and quantifier elimination for linear integer
+//! arithmetic (LIA).
+//!
+//! This crate is the from-scratch replacement for the SMT solver (Z3) that
+//! the ComPACT paper relies on.  It provides:
+//!
+//! * [`Solver`] — lazy DPLL(T)-style satisfiability with integer models,
+//!   validity/entailment checks, implicant and DNF-cube enumeration;
+//! * [`eliminate_quantifiers`] — Cooper's quantifier elimination for
+//!   Presburger arithmetic;
+//! * a theory solver for conjunctions of linear integer constraints
+//!   (simplex relaxation + branch-and-bound + gcd tests), see
+//!   [`solve_conjunction`].
+//!
+//! # Examples
+//!
+//! ```
+//! use compact_logic::parse_formula;
+//! use compact_smt::Solver;
+//!
+//! let solver = Solver::new();
+//! // Every integer is even or odd:
+//! let f = parse_formula("(2 | x) || (2 | x + 1)").unwrap();
+//! assert!(solver.is_valid(&f));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cooper;
+mod solver;
+mod theory;
+
+pub use cooper::{eliminate_exists, eliminate_quantifiers};
+pub use solver::{Solver, SolverStats};
+pub use theory::{solve_conjunction, TheoryResult};

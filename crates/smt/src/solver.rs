@@ -1,0 +1,457 @@
+//! The public SMT interface: satisfiability, validity, entailment,
+//! implicants and model queries for LIA formulas.
+//!
+//! The solver is *lazy DPLL(T)* in spirit: the propositional structure of a
+//! (quantifier-free, NNF) formula is explored by backtracking over its
+//! disjunctions, accumulating a cube of theory literals which is checked for
+//! integer satisfiability by the theory solver (`crate::theory`).  Quantified
+//! formulas are reduced to quantifier-free ones with Cooper's elimination
+//! first.
+
+use crate::cooper::eliminate_quantifiers;
+use crate::theory::{solve_conjunction, TheoryResult};
+use compact_logic::{Atom, Formula, Symbol, Valuation};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Statistics collected by a [`Solver`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of satisfiability queries answered.
+    pub sat_queries: usize,
+    /// Number of theory (conjunction) checks performed.
+    pub theory_checks: usize,
+    /// Number of quantifier eliminations performed.
+    pub eliminations: usize,
+}
+
+/// An SMT solver for linear integer arithmetic.
+///
+/// The solver memoizes satisfiability verdicts for syntactically identical
+/// formulas, which matters because the algebraic analysis re-checks the same
+/// sub-formulas many times while traversing a path-expression DAG.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::parse_formula;
+/// use compact_smt::Solver;
+/// let solver = Solver::new();
+/// let f = parse_formula("x > 0 && x < 10 && 3 | x").unwrap();
+/// assert!(solver.is_sat(&f));
+/// assert!(!solver.is_valid(&f));
+/// let model = solver.model(&f).unwrap();
+/// assert_eq!(f.eval(&model), Some(true));
+/// ```
+#[derive(Default)]
+pub struct Solver {
+    cache: RefCell<HashMap<Formula, bool>>,
+    stats: RefCell<SolverStats>,
+}
+
+impl Solver {
+    /// Creates a new solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Returns a snapshot of the solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Decides satisfiability of a formula (quantified formulas are allowed).
+    pub fn is_sat(&self, f: &Formula) -> bool {
+        if let Some(&cached) = self.cache.borrow().get(f) {
+            return cached;
+        }
+        self.stats.borrow_mut().sat_queries += 1;
+        let result = self.model_impl(f).is_some();
+        self.cache.borrow_mut().insert(f.clone(), result);
+        result
+    }
+
+    /// Decides validity of a formula.
+    pub fn is_valid(&self, f: &Formula) -> bool {
+        !self.is_sat(&Formula::not(f.clone()))
+    }
+
+    /// Decides whether `f` entails `g` (i.e. `f ⇒ g` is valid).
+    pub fn entails(&self, f: &Formula, g: &Formula) -> bool {
+        self.is_valid(&Formula::implies(f.clone(), g.clone()))
+    }
+
+    /// Decides whether `f` and `g` are logically equivalent.
+    pub fn equivalent(&self, f: &Formula, g: &Formula) -> bool {
+        self.entails(f, g) && self.entails(g, f)
+    }
+
+    /// Returns a model of the formula, if it is satisfiable.
+    ///
+    /// The model assigns every free variable of the formula.
+    pub fn model(&self, f: &Formula) -> Option<Valuation> {
+        let model = self.model_impl(f);
+        self.cache.borrow_mut().insert(f.clone(), model.is_some());
+        model
+    }
+
+    fn model_impl(&self, f: &Formula) -> Option<Valuation> {
+        let qf = self.quantifier_free(f);
+        let nnf = qf.nnf();
+        let mut cube: Vec<Atom> = Vec::new();
+        let model = self.search(&[&nnf], &mut cube)?;
+        // Complete the model over all free variables of the original formula.
+        let mut model = model;
+        for v in f.free_vars() {
+            if !model.contains(&v) {
+                model.set(v, 0.into());
+            }
+        }
+        Some(model.restrict(f.free_vars().iter()))
+    }
+
+    /// Eliminates quantifiers if necessary.
+    pub fn quantifier_free(&self, f: &Formula) -> Formula {
+        if f.is_quantifier_free() {
+            f.clone()
+        } else {
+            self.stats.borrow_mut().eliminations += 1;
+            eliminate_quantifiers(f)
+        }
+    }
+
+    /// Performs quantifier elimination and light simplification.
+    pub fn qe(&self, f: &Formula) -> Formula {
+        self.quantifier_free(f).simplify()
+    }
+
+    /// Backtracking search over the propositional structure.
+    ///
+    /// `goals` is a stack of sub-formulas that must all hold; `cube`
+    /// accumulates the chosen theory literals.
+    fn search(&self, goals: &[&Formula], cube: &mut Vec<Atom>) -> Option<Valuation> {
+        let Some((first, rest)) = goals.split_first() else {
+            self.stats.borrow_mut().theory_checks += 1;
+            return match solve_conjunction(cube) {
+                TheoryResult::Sat(m) => Some(m),
+                TheoryResult::Unsat => None,
+            };
+        };
+        match first {
+            Formula::True => self.search(rest, cube),
+            Formula::False => None,
+            Formula::Atom(a) => {
+                cube.push(a.clone());
+                let result = self.search(rest, cube);
+                if result.is_none() {
+                    cube.pop();
+                }
+                result
+            }
+            Formula::And(parts) => {
+                let mut new_goals: Vec<&Formula> = parts.iter().collect();
+                new_goals.extend_from_slice(rest);
+                self.search(&new_goals, cube)
+            }
+            Formula::Or(parts) => {
+                let depth = cube.len();
+                for p in parts {
+                    let mut new_goals: Vec<&Formula> = vec![p];
+                    new_goals.extend_from_slice(rest);
+                    if let Some(m) = self.search(&new_goals, cube) {
+                        return Some(m);
+                    }
+                    cube.truncate(depth);
+                }
+                None
+            }
+            Formula::Not(inner) => match inner.as_ref() {
+                // NNF guarantees negations only around atoms, but be tolerant.
+                Formula::Atom(a) => {
+                    cube.push(a.negate());
+                    let result = self.search(rest, cube);
+                    if result.is_none() {
+                        cube.pop();
+                    }
+                    result
+                }
+                other => {
+                    let nnf = Formula::not(other.clone()).nnf();
+                    self.search_owned(nnf, rest, cube)
+                }
+            },
+            Formula::Exists(..) | Formula::Forall(..) => {
+                let qf = self.quantifier_free(first);
+                self.search_owned(qf, rest, cube)
+            }
+        }
+    }
+
+    fn search_owned(
+        &self,
+        formula: Formula,
+        rest: &[&Formula],
+        cube: &mut Vec<Atom>,
+    ) -> Option<Valuation> {
+        let mut new_goals: Vec<&Formula> = vec![&formula];
+        new_goals.extend_from_slice(rest);
+        self.search(&new_goals, cube)
+    }
+
+    /// Returns one satisfiable implicant (cube) of the formula: a conjunction
+    /// of literals that entails the formula and is satisfiable.
+    pub fn implicant(&self, f: &Formula) -> Option<Vec<Atom>> {
+        let qf = self.quantifier_free(f).nnf();
+        let mut cube = Vec::new();
+        self.search(&[&qf], &mut cube)?;
+        Some(cube)
+    }
+
+    /// Enumerates the satisfiable cubes of the disjunctive normal form of the
+    /// formula.  The disjunction of the returned cubes is equivalent to the
+    /// formula (unsatisfiable cubes are dropped).
+    ///
+    /// The result is capped at `limit` cubes; `None` is returned if the cap
+    /// is reached (callers fall back to a coarser approximation).
+    pub fn dnf_cubes(&self, f: &Formula, limit: usize) -> Option<Vec<Vec<Atom>>> {
+        let qf = self.quantifier_free(f).nnf();
+        let mut cubes = Vec::new();
+        let mut cube = Vec::new();
+        if self.enumerate(&[&qf], &mut cube, &mut cubes, limit) {
+            Some(cubes)
+        } else {
+            None
+        }
+    }
+
+    /// Depth-first enumeration of all satisfiable DNF cubes.  Returns `false`
+    /// if the limit was exceeded.
+    fn enumerate(
+        &self,
+        goals: &[&Formula],
+        cube: &mut Vec<Atom>,
+        out: &mut Vec<Vec<Atom>>,
+        limit: usize,
+    ) -> bool {
+        let Some((first, rest)) = goals.split_first() else {
+            self.stats.borrow_mut().theory_checks += 1;
+            if solve_conjunction(cube).is_sat() {
+                if out.len() >= limit {
+                    return false;
+                }
+                out.push(cube.clone());
+            }
+            return true;
+        };
+        match first {
+            Formula::True => self.enumerate(rest, cube, out, limit),
+            Formula::False => true,
+            Formula::Atom(a) => {
+                cube.push(a.clone());
+                let ok = self.enumerate(rest, cube, out, limit);
+                cube.pop();
+                ok
+            }
+            Formula::And(parts) => {
+                let mut new_goals: Vec<&Formula> = parts.iter().collect();
+                new_goals.extend_from_slice(rest);
+                self.enumerate(&new_goals, cube, out, limit)
+            }
+            Formula::Or(parts) => {
+                for p in parts {
+                    let mut new_goals: Vec<&Formula> = vec![p];
+                    new_goals.extend_from_slice(rest);
+                    if !self.enumerate(&new_goals, cube, out, limit) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Formula::Not(inner) => {
+                let nnf = Formula::not((**inner).clone()).nnf();
+                let mut new_goals: Vec<&Formula> = vec![&nnf];
+                new_goals.extend_from_slice(rest);
+                self.enumerate(&new_goals, cube, out, limit)
+            }
+            Formula::Exists(..) | Formula::Forall(..) => {
+                let qf = self.quantifier_free(first);
+                let mut new_goals: Vec<&Formula> = vec![&qf];
+                new_goals.extend_from_slice(rest);
+                self.enumerate(&new_goals, cube, out, limit)
+            }
+        }
+    }
+
+    /// Simplifies a formula by pruning disjuncts and conjuncts that the
+    /// solver can discharge: unsatisfiable disjuncts are dropped, conjuncts
+    /// entailed by the rest are removed.
+    pub fn prune(&self, f: &Formula) -> Formula {
+        let f = f.simplify();
+        match &f {
+            Formula::Or(parts) => {
+                let kept: Vec<Formula> = parts
+                    .iter()
+                    .filter(|p| self.is_sat(p))
+                    .cloned()
+                    .collect();
+                Formula::or(kept)
+            }
+            Formula::And(parts) => {
+                // Drop conjuncts entailed by the conjunction of the others.
+                let mut kept: Vec<Formula> = parts.clone();
+                let mut i = 0;
+                while i < kept.len() {
+                    let candidate = kept[i].clone();
+                    let others = Formula::and(
+                        kept.iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != i)
+                            .map(|(_, p)| p.clone())
+                            .collect(),
+                    );
+                    if !others.is_true() && self.entails(&others, &candidate) {
+                        kept.remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                Formula::and(kept)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Checks whether a formula over `Var` describes at least one state where
+    /// the given variables can take any value — a cheap sufficient check used
+    /// in reporting.
+    pub fn variables_of(&self, f: &Formula) -> Vec<Symbol> {
+        f.free_vars().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn solver() -> Solver {
+        Solver::new()
+    }
+
+    #[test]
+    fn sat_and_valid() {
+        let s = solver();
+        assert!(s.is_sat(&parse_formula("x > 0").unwrap()));
+        assert!(!s.is_sat(&parse_formula("x > 0 && x < 0").unwrap()));
+        assert!(s.is_valid(&parse_formula("x >= 0 || x <= 0").unwrap()));
+        assert!(!s.is_valid(&parse_formula("x >= 0").unwrap()));
+        assert!(s.is_valid(&Formula::True));
+        assert!(!s.is_sat(&Formula::False));
+    }
+
+    #[test]
+    fn models_satisfy_their_formula() {
+        let s = solver();
+        let cases = [
+            "x + y = 10 && x > y && y >= 0",
+            "2*x > 7 && x < 10 && 3 | x + 1",
+            "(a <= b && b <= c) && a != c",
+            "x = 5 || x = -5",
+        ];
+        for case in cases {
+            let f = parse_formula(case).unwrap();
+            let m = s.model(&f).expect(case);
+            assert_eq!(f.eval(&m), Some(true), "bad model for {}", case);
+        }
+    }
+
+    #[test]
+    fn quantified_queries() {
+        let s = solver();
+        // Every integer is even or odd.
+        assert!(s.is_valid(&parse_formula("(2 | x) || (2 | x + 1)").unwrap()));
+        // exists y. y > x is valid (no upper bound on integers).
+        assert!(s.is_valid(&parse_formula("exists y. y > x").unwrap()));
+        // forall y. y > x is unsatisfiable.
+        assert!(!s.is_sat(&parse_formula("forall y. y > x").unwrap()));
+        // Quantifier alternation.
+        assert!(s.is_valid(&parse_formula("forall x. exists y. y = x + 1").unwrap()));
+        assert!(!s.is_sat(&parse_formula("exists x. forall y. y <= x").unwrap()));
+    }
+
+    #[test]
+    fn entailment() {
+        let s = solver();
+        let f = parse_formula("x >= 2").unwrap();
+        let g = parse_formula("x >= 0").unwrap();
+        assert!(s.entails(&f, &g));
+        assert!(!s.entails(&g, &f));
+        assert!(s.equivalent(
+            &parse_formula("x >= 1").unwrap(),
+            &parse_formula("x > 0").unwrap()
+        ));
+    }
+
+    #[test]
+    fn implicants_entail_the_formula() {
+        let s = solver();
+        let f = parse_formula("(x > 0 && y > 0) || (x < 0 && y < 0)").unwrap();
+        let cube = s.implicant(&f).expect("sat");
+        let cube_formula = Formula::and(cube.into_iter().map(Formula::atom).collect());
+        assert!(s.entails(&cube_formula, &f));
+        assert!(s.is_sat(&cube_formula));
+    }
+
+    #[test]
+    fn dnf_cubes_cover_the_formula() {
+        let s = solver();
+        let f = parse_formula("(x > 0 || y > 0) && (x < 5)").unwrap();
+        let cubes = s.dnf_cubes(&f, 64).expect("within limit");
+        assert!(!cubes.is_empty());
+        let union = Formula::or(
+            cubes
+                .iter()
+                .map(|c| Formula::and(c.iter().cloned().map(Formula::atom).collect()))
+                .collect(),
+        );
+        assert!(s.equivalent(&union, &f));
+    }
+
+    #[test]
+    fn dnf_cube_limit() {
+        let s = solver();
+        let f = parse_formula("(a > 0 || a < 0) && (b > 0 || b < 0) && (c > 0 || c < 0)").unwrap();
+        assert!(s.dnf_cubes(&f, 2).is_none());
+        assert_eq!(s.dnf_cubes(&f, 8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn prune_simplifies() {
+        let s = solver();
+        let f = parse_formula("(x > 0 && x > 5) || (x > 0 && x < 0)").unwrap();
+        let g = s.prune(&f);
+        // The second disjunct is unsatisfiable, the first collapses to x > 5.
+        assert!(s.equivalent(&g, &parse_formula("x > 5").unwrap()));
+        assert!(g.size() < f.size());
+    }
+
+    #[test]
+    fn caching_is_transparent() {
+        let s = solver();
+        let f = parse_formula("x > 3 && x < 100").unwrap();
+        assert!(s.is_sat(&f));
+        assert!(s.is_sat(&f));
+        assert_eq!(s.stats().sat_queries, 1);
+    }
+
+    #[test]
+    fn fibonacci_guard_example() {
+        // The body summary of Example 5.4: g >= 2 && (g' = g - 1 || g' = g - 2).
+        let s = solver();
+        let body = parse_formula("g >= 2 && (g' = g - 1 || g' = g - 2)").unwrap();
+        assert!(s.is_sat(&body));
+        // From g = 1 there is no transition.
+        let blocked = parse_formula("g = 1 && g >= 2 && (g' = g - 1 || g' = g - 2)").unwrap();
+        assert!(!s.is_sat(&blocked));
+    }
+}

@@ -1,0 +1,95 @@
+//! The `bitprecise` suite: the `termination` tasks with explicit
+//! overflow-guard instrumentation.
+//!
+//! §7 of the paper obtains this suite by running `goto-instrument` on the
+//! `termination` tasks: every signed operation gets an overflow check that
+//! enters an infinite loop on failure, so proving termination also requires
+//! proving the absence of signed overflow.  The same transformation is
+//! applied here at the AST level: after every assignment the assigned
+//! variable is checked against the 32-bit signed range, and the program
+//! enters a divergent loop if the check fails.
+
+use crate::{termination, Suite, Task};
+use compact_lang::{Cond, Expr, SourceProgram, Stmt};
+use compact_logic::{Formula, Symbol, Term};
+
+const INT_MIN: i64 = -2_147_483_648;
+const INT_MAX: i64 = 2_147_483_647;
+
+/// Instruments a parsed program with overflow checks.
+pub fn instrument(program: &SourceProgram) -> SourceProgram {
+    let mut out = program.clone();
+    for proc_def in &mut out.procedures {
+        proc_def.body = instrument_block(&proc_def.body);
+    }
+    out
+}
+
+fn overflow_check(var: &str) -> Stmt {
+    // if (x < INT_MIN || x > INT_MAX) { while (true) { skip; } }
+    let x = Term::var(Symbol::intern(var));
+    let out_of_range = Formula::or(vec![
+        Formula::lt(x.clone(), Term::constant(INT_MIN)),
+        Formula::gt(x, Term::constant(INT_MAX)),
+    ]);
+    Stmt::If(
+        Cond::Formula(out_of_range),
+        vec![Stmt::While(Cond::Formula(Formula::True), vec![Stmt::Skip])],
+        Vec::new(),
+    )
+}
+
+fn instrument_block(block: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for stmt in block {
+        match stmt {
+            Stmt::Assign(x, Expr::Linear(_)) => {
+                out.push(stmt.clone());
+                out.push(overflow_check(x));
+            }
+            Stmt::Assign(_, Expr::Nondet) => out.push(stmt.clone()),
+            Stmt::If(c, t, e) => {
+                out.push(Stmt::If(c.clone(), instrument_block(t), instrument_block(e)));
+            }
+            Stmt::While(c, body) => {
+                out.push(Stmt::While(c.clone(), instrument_block(body)));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// The tasks of the suite: one instrumented twin per `termination` task.
+pub fn tasks() -> Vec<Task> {
+    termination::tasks()
+        .into_iter()
+        .map(|task| Task {
+            name: format!("{}_bitprecise", task.name),
+            suite: Suite::BitPrecise,
+            ast: instrument(&task.ast),
+            terminating: task.terminating,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instrumentation_adds_checks() {
+        let tasks = tasks();
+        let originals = termination::tasks();
+        for (instrumented, original) in tasks.iter().zip(originals.iter()) {
+            let a = instrumented.program().num_edges();
+            let b = original.program().num_edges();
+            assert!(a >= b, "instrumented {} lost edges", instrumented.name);
+        }
+        // At least one task actually gains an overflow check.
+        assert!(tasks
+            .iter()
+            .zip(originals.iter())
+            .any(|(i, o)| i.program().num_edges() > o.program().num_edges()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Parameterized workload generators, used by the Criterion benchmarks for
+//! scaling experiments (path-expression size, loop-nest depth, phase count).
+
+/// Generates a nest of `depth` counting loops with the given constant bound
+/// (the shape of the §7 anecdote and of the PolyBench kernels).
+pub fn nested_counting_loops(depth: usize, bound: i64) -> String {
+    fn nest(level: usize, depth: usize, bound: i64) -> String {
+        if level == depth {
+            return "acc := acc + 1;".to_string();
+        }
+        let var = format!("i{}", level);
+        format!(
+            "{var} := 0; while ({var} < {bound}) {{ {inner} {var} := {var} + 1; }}",
+            var = var,
+            bound = bound,
+            inner = nest(level + 1, depth, bound)
+        )
+    }
+    format!("proc main() {{ {} }}", nest(0, depth, bound))
+}
+
+/// Generates a chain of `count` consecutive (non-nested) counting loops.
+pub fn counting_loop_chain(count: usize, bound: i64) -> String {
+    let mut body = String::new();
+    for i in 0..count {
+        body.push_str(&format!(
+            "x{i} := 0; while (x{i} < {bound}) {{ x{i} := x{i} + 1; }} ",
+            i = i,
+            bound = bound
+        ));
+    }
+    format!("proc main() {{ {} }}", body)
+}
+
+/// Generates a family of loops with `n` phases: phase `k` decrements counter
+/// `k` until it reaches zero, then control moves to phase `k+1`.
+pub fn phase_loop_family(n: usize) -> Vec<String> {
+    (1..=n)
+        .map(|phases| {
+            let mut branches = String::new();
+            for k in (1..phases).rev() {
+                branches = format!(
+                    "if (c{k} > 0) {{ c{k} := c{k} - 1; }} else {{ {rest} }}",
+                    k = k,
+                    rest = if branches.is_empty() {
+                        format!("c{} := c{} - 1;", phases, phases)
+                    } else {
+                        branches
+                    }
+                );
+            }
+            if branches.is_empty() {
+                branches = "c1 := c1 - 1;".to_string();
+            }
+            let guard = (1..=phases)
+                .map(|k| format!("c{} > 0", k))
+                .collect::<Vec<_>>()
+                .join(" || ");
+            format!("proc main() {{ while ({}) {{ {} }} }}", guard, branches)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_lang::compile;
+
+    #[test]
+    fn nested_loops_have_expected_depth() {
+        let src = nested_counting_loops(3, 8);
+        let program = compile(&src).unwrap();
+        // Three loop headers plus entry/exit structure.
+        assert!(program.num_edges() >= 9);
+        assert_eq!(src.matches("while").count(), 3);
+    }
+
+    #[test]
+    fn chains_have_expected_length() {
+        let src = counting_loop_chain(5, 3);
+        assert_eq!(src.matches("while").count(), 5);
+        assert!(compile(&src).is_ok());
+    }
+
+    #[test]
+    fn phase_family_is_increasing() {
+        let family = phase_loop_family(4);
+        assert_eq!(family.len(), 4);
+        for (i, src) in family.iter().enumerate() {
+            assert!(compile(src).is_ok());
+            assert_eq!(src.matches("||").count(), i);
+        }
+    }
+}

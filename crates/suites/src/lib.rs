@@ -1,0 +1,179 @@
+//! The benchmark corpus used to reproduce the paper's evaluation (§7).
+//!
+//! The original evaluation uses 413 C programs drawn from SV-COMP
+//! (`Termination-MainControlFlow`, `recursive`), a bit-precise re-encoding of
+//! the first suite, and the PolyBench kernels.  Those C files cannot be
+//! shipped or parsed here; instead this crate provides programs written in
+//! the `compact-lang` mini language that mirror the *termination structure*
+//! of the originals, organised into the same four suites:
+//!
+//! * [`Suite::Termination`] — small programs with challenging termination
+//!   arguments (phased loops, nested dependencies, non-determinism,
+//!   conditional termination);
+//! * [`Suite::BitPrecise`] — the same programs with explicit overflow-guard
+//!   instrumentation (an `assume`-guarded range check that jumps to a
+//!   divergent sink on overflow, mirroring the `goto-instrument` encoding
+//!   described in §7);
+//! * [`Suite::Recursive`] — recursive and mutually recursive procedures;
+//! * [`Suite::Polybench`] — affine loop nests in the shape of the PolyBench
+//!   kernels (deep nesting, simple termination arguments).
+//!
+//! Each [`Task`] records whether the program is expected to terminate from
+//! every initial state, which is the ground truth used by the harness.
+
+#![warn(missing_docs)]
+
+mod bitprecise;
+mod generators;
+mod polybench;
+mod recursive;
+mod termination;
+
+pub use generators::{counting_loop_chain, nested_counting_loops, phase_loop_family};
+
+use compact_lang::{lower, parse_source, Program, SourceProgram};
+
+/// The four benchmark suites of §7.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Suite {
+    /// Challenging terminating loops (SV-COMP `Termination-MainControlFlow`).
+    Termination,
+    /// The same tasks with overflow-guard instrumentation.
+    BitPrecise,
+    /// Recursive procedures.
+    Recursive,
+    /// PolyBench-style affine loop nests.
+    Polybench,
+}
+
+impl Suite {
+    /// All suites, in the order of Table 1.
+    pub fn all() -> [Suite; 4] {
+        [Suite::Termination, Suite::BitPrecise, Suite::Recursive, Suite::Polybench]
+    }
+
+    /// The display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Suite::Termination => "termination",
+            Suite::BitPrecise => "bitprecise",
+            Suite::Recursive => "recursive",
+            Suite::Polybench => "polybench",
+        }
+    }
+}
+
+/// A single benchmark task.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// A unique name.
+    pub name: String,
+    /// The suite the task belongs to.
+    pub suite: Suite,
+    /// The parsed program.
+    pub ast: SourceProgram,
+    /// Ground truth: does the program terminate from every initial state?
+    pub terminating: bool,
+}
+
+impl Task {
+    /// Builds a task from mini-language source text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not parse (a bug in the corpus, caught by
+    /// the test suite).
+    pub fn from_source(name: &str, suite: Suite, source: &str, terminating: bool) -> Task {
+        let ast = parse_source(source).unwrap_or_else(|e| panic!("task {}: {}", name, e));
+        Task { name: name.to_string(), suite, ast, terminating }
+    }
+
+    /// Lowers the task's program to its control-flow-graph form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lowering fails (a bug in the corpus, caught by the test
+    /// suite).
+    pub fn program(&self) -> Program {
+        lower(&self.ast).unwrap_or_else(|e| panic!("task {}: {}", self.name, e))
+    }
+}
+
+/// Returns every task of a suite.
+pub fn suite_tasks(suite: Suite) -> Vec<Task> {
+    match suite {
+        Suite::Termination => termination::tasks(),
+        Suite::BitPrecise => bitprecise::tasks(),
+        Suite::Recursive => recursive::tasks(),
+        Suite::Polybench => polybench::tasks(),
+    }
+}
+
+/// Returns every task of every suite.
+pub fn all_tasks() -> Vec<Task> {
+    Suite::all().into_iter().flat_map(suite_tasks).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_compiles() {
+        for task in all_tasks() {
+            let program = task.program();
+            assert!(!program.vars.is_empty() || program.num_edges() > 0, "{}", task.name);
+        }
+    }
+
+    #[test]
+    fn suites_are_nonempty_and_named_uniquely() {
+        let mut names = std::collections::HashSet::new();
+        for suite in Suite::all() {
+            let tasks = suite_tasks(suite);
+            assert!(tasks.len() >= 8, "suite {} too small", suite.name());
+            for t in &tasks {
+                assert_eq!(t.suite, suite);
+                assert!(names.insert(t.name.clone()), "duplicate task name {}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn bitprecise_mirrors_termination() {
+        // The bit-precise suite is derived from the termination suite.
+        assert_eq!(
+            suite_tasks(Suite::BitPrecise).len(),
+            suite_tasks(Suite::Termination).len()
+        );
+    }
+
+    #[test]
+    fn recursive_tasks_have_calls() {
+        for task in suite_tasks(Suite::Recursive) {
+            assert!(task.program().has_calls(), "{} has no calls", task.name);
+        }
+    }
+
+    #[test]
+    fn polybench_tasks_have_nested_loops_and_no_calls() {
+        for task in suite_tasks(Suite::Polybench) {
+            assert!(!task.program().has_calls(), "{} has calls", task.name);
+            assert!(task.terminating, "{} should be terminating", task.name);
+        }
+    }
+
+    #[test]
+    fn generators_produce_compiling_programs() {
+        use compact_lang::compile;
+        for depth in 1..=3 {
+            let src = nested_counting_loops(depth, 16);
+            assert!(compile(&src).is_ok());
+        }
+        let src = counting_loop_chain(4, 10);
+        assert!(compile(&src).is_ok());
+        for src in phase_loop_family(3) {
+            assert!(compile(&src).is_ok());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The `polybench` suite: affine loop nests in the shape of the PolyBench
+//! numerical kernels (deep nesting, simple termination arguments).
+//!
+//! PolyBench kernels operate on arrays; the mini language has no arrays, so
+//! each kernel keeps the exact loop-nest structure and replaces array
+//! accesses by scalar accumulator updates — the termination structure (loop
+//! bounds, nesting, strides) is preserved, which is all §7 exercises.
+
+use crate::{Suite, Task};
+
+pub(crate) fn table() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        (
+            "gemm",
+            r#"proc main() {
+                i := 0;
+                while (i < ni) {
+                    j := 0;
+                    while (j < nj) {
+                        acc := 0;
+                        k := 0;
+                        while (k < nk) { acc := acc + 1; k := k + 1; }
+                        j := j + 1;
+                    }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "two_mm",
+            r#"proc main() {
+                i := 0;
+                while (i < ni) {
+                    j := 0;
+                    while (j < nj) { k := 0; while (k < nk) { tmp := tmp + 1; k := k + 1; } j := j + 1; }
+                    i := i + 1;
+                }
+                i := 0;
+                while (i < ni) {
+                    j := 0;
+                    while (j < nl) { k := 0; while (k < nj) { d := d + 1; k := k + 1; } j := j + 1; }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "three_mm",
+            r#"proc main() {
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j < n) { k := 0; while (k < n) { e := e + 1; k := k + 1; } j := j + 1; }
+                    i := i + 1;
+                }
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j < n) { k := 0; while (k < n) { f := f + 1; k := k + 1; } j := j + 1; }
+                    i := i + 1;
+                }
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j < n) { k := 0; while (k < n) { g := g + 1; k := k + 1; } j := j + 1; }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "jacobi_1d",
+            r#"proc main() {
+                t := 0;
+                while (t < tsteps) {
+                    i := 1;
+                    while (i < n - 1) { a := a + 1; i := i + 1; }
+                    i := 1;
+                    while (i < n - 1) { b := b + 1; i := i + 1; }
+                    t := t + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "jacobi_2d",
+            r#"proc main() {
+                t := 0;
+                while (t < tsteps) {
+                    i := 1;
+                    while (i < n - 1) {
+                        j := 1;
+                        while (j < n - 1) { a := a + 1; j := j + 1; }
+                        i := i + 1;
+                    }
+                    t := t + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "seidel_2d",
+            r#"proc main() {
+                t := 0;
+                while (t <= tsteps - 1) {
+                    i := 1;
+                    while (i <= n - 2) {
+                        j := 1;
+                        while (j <= n - 2) { a := a + 1; j := j + 1; }
+                        i := i + 1;
+                    }
+                    t := t + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "lu_triangular",
+            r#"proc main() {
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j < i) {
+                        k := 0;
+                        while (k < j) { a := a + 1; k := k + 1; }
+                        j := j + 1;
+                    }
+                    j := i;
+                    while (j < n) { b := b + 1; j := j + 1; }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "cholesky_triangular",
+            r#"proc main() {
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j <= i) {
+                        k := 0;
+                        while (k < j) { acc := acc - 1; k := k + 1; }
+                        j := j + 1;
+                    }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "trmm",
+            r#"proc main() {
+                i := 0;
+                while (i < m) {
+                    j := 0;
+                    while (j < n) {
+                        k := i + 1;
+                        while (k < m) { b := b + 1; k := k + 1; }
+                        j := j + 1;
+                    }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "atax",
+            r#"proc main() {
+                i := 0;
+                while (i < m) {
+                    j := 0;
+                    while (j < n) { tmp := tmp + 1; j := j + 1; }
+                    j := 0;
+                    while (j < n) { y := y + 1; j := j + 1; }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "syrk",
+            r#"proc main() {
+                i := 0;
+                while (i < n) {
+                    j := 0;
+                    while (j <= i) { c := c + 1; j := j + 1; }
+                    j := 0;
+                    while (j <= i) {
+                        k := 0;
+                        while (k < m) { c := c + 1; k := k + 1; }
+                        j := j + 1;
+                    }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+        (
+            "nested_const_bound",
+            r#"proc main() {
+                i := 0;
+                while (i < 4096) {
+                    j := 0;
+                    while (j < 4096) { i := i; j := j + 1; }
+                    i := i + 1;
+                }
+            }"#,
+            true,
+        ),
+    ]
+}
+
+/// The tasks of the suite.
+pub fn tasks() -> Vec<Task> {
+    table()
+        .into_iter()
+        .map(|(name, source, terminating)| {
+            Task::from_source(name, Suite::Polybench, source, terminating)
+        })
+        .collect()
+}

@@ -1,0 +1,114 @@
+//! The `recursive` suite: recursive and mutually recursive procedures
+//! (SV-COMP `recursive` + `Termination-MainControlFlow` recursive tasks).
+
+use crate::{Suite, Task};
+
+pub(crate) fn table() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        (
+            "fib",
+            r#"proc main() { g := n; call fib(); }
+               proc fib() {
+                   if (g <= 1) { r := 1; }
+                   else { g := g - 1; call fib(); t := r; g := g - 1; call fib(); r := r + t; }
+               }"#,
+            true,
+        ),
+        (
+            "factorial",
+            r#"proc main() { g := n; acc := 1; call fact(); }
+               proc fact() { if (g <= 0) { skip; } else { acc := acc * 2; g := g - 1; call fact(); } }"#,
+            true,
+        ),
+        (
+            "countdown_rec",
+            r#"proc main() { g := n; call down(); }
+               proc down() { if (g > 0) { g := g - 1; call down(); } }"#,
+            true,
+        ),
+        (
+            "sum_rec",
+            r#"proc main() { g := n; s := 0; call sum(); }
+               proc sum() { if (g > 0) { s := s + g; g := g - 1; call sum(); } }"#,
+            true,
+        ),
+        (
+            "mutual_even_odd",
+            r#"proc main() { g := n; call even(); }
+               proc even() { if (g > 0) { g := g - 1; call odd(); } }
+               proc odd() { if (g > 0) { g := g - 1; call even(); } }"#,
+            true,
+        ),
+        (
+            "binary_descent",
+            r#"proc main() { g := n; call halve(); }
+               proc halve() { if (g >= 2) { havoc h; assume(2*h <= g && g <= 2*h + 1); g := h; call halve(); } }"#,
+            true,
+        ),
+        (
+            "gcd_rec",
+            r#"proc main() { assume(a >= 1 && b >= 1); call gcd(); }
+               proc gcd() {
+                   if (a != b) {
+                       if (a > b) { a := a - b; } else { b := b - a; }
+                       call gcd();
+                   }
+               }"#,
+            true,
+        ),
+        (
+            "ackermann_shape",
+            r#"proc main() { assume(m >= 0 && n >= 0); call ack(); }
+               proc ack() {
+                   if (m > 0) {
+                       if (n > 0) { n := n - 1; call ack(); m := m - 1; havoc n; assume(n >= 0); call ack(); }
+                       else { m := m - 1; n := 1; call ack(); }
+                   }
+               }"#,
+            true,
+        ),
+        (
+            "two_calls_budget",
+            r#"proc main() { g := n; call spend(); }
+               proc spend() {
+                   if (g >= 2) { g := g - 2; call spend(); call_noop := 0; g := g - 1; if (g > 0) { call spend(); } }
+               }"#,
+            true,
+        ),
+        (
+            "recursion_with_halt",
+            r#"proc main() { g := n; call probe(); }
+               proc probe() {
+                   if (g < 0) { halt; }
+                   if (g > 0) { g := g - 1; call probe(); }
+               }"#,
+            true,
+        ),
+        (
+            "nested_loop_in_recursion",
+            r#"proc main() { g := n; call work(); }
+               proc work() {
+                   i := 0;
+                   while (i < 4) { i := i + 1; }
+                   if (g > 0) { g := g - 1; call work(); }
+               }"#,
+            true,
+        ),
+        (
+            "descend_by_caller",
+            r#"proc main() { g := n; while (g > 0) { call step(); } }
+               proc step() { g := g - 1; }"#,
+            true,
+        ),
+    ]
+}
+
+/// The tasks of the suite.
+pub fn tasks() -> Vec<Task> {
+    table()
+        .into_iter()
+        .map(|(name, source, terminating)| {
+            Task::from_source(name, Suite::Recursive, source, terminating)
+        })
+        .collect()
+}

@@ -1,0 +1,146 @@
+//! The `termination` suite: small non-recursive programs with challenging
+//! termination arguments, in the spirit of the SV-COMP
+//! `Termination-MainControlFlow` tasks.
+
+use crate::{Suite, Task};
+
+/// The `(name, source, terminating)` table of the suite.
+pub(crate) fn table() -> Vec<(&'static str, &'static str, bool)> {
+    vec![
+        (
+            "count_down",
+            "proc main() { while (x > 0) { x := x - 1; } }",
+            true,
+        ),
+        (
+            "count_down_nondet_step",
+            "proc main() { while (x > 0) { havoc d; assume(d >= 1 && d <= 5); x := x - d; } }",
+            true,
+        ),
+        (
+            "count_up_bounded",
+            "proc main() { while (x < n) { x := x + 1; } }",
+            true,
+        ),
+        (
+            "gcd_subtraction",
+            "proc main() { assume(x >= 1 && y >= 1); while (x != y) { if (x > y) { x := x - y; } else { y := y - x; } } }",
+            true,
+        ),
+        (
+            "sum_to_zero",
+            "proc main() { while (x + y > 0) { if (*) { x := x - 1; } else { y := y - 1; } } }",
+            true,
+        ),
+        (
+            "converging_pair",
+            "proc main() { while (x > y) { x := x - 1; y := y + 1; } }",
+            true,
+        ),
+        (
+            "lexicographic_reset",
+            "proc main() { while (x > 0 && y > 0) { if (*) { x := x - 1; havoc y; assume(y >= 0); } else { y := y - 1; } } }",
+            true,
+        ),
+        (
+            "eventually_negative",
+            "proc main() { while (x > 0) { x := x + y; y := y - 1; } }",
+            true,
+        ),
+        (
+            "figure1_nested_budget",
+            r#"proc main() {
+                step := 8;
+                while (true) {
+                    m := 0;
+                    while (m < step) {
+                        if (n < 0) { halt; } else { m := m + 1; n := n - 1; }
+                    }
+                }
+            }"#,
+            true,
+        ),
+        (
+            "phase_switch_terminating",
+            r#"proc main() {
+                assume(f >= 0);
+                while (x > 0) {
+                    if (f >= 0) { x := x - y; y := y + 1; f := f + 1; }
+                    else { x := x + 1; f := f - 1; }
+                }
+            }"#,
+            true,
+        ),
+        (
+            "alternating_direction",
+            "proc main() { assume(d == 1 || d == -1); while (x > 0 && x < n) { x := x + d; } }",
+            true,
+        ),
+        (
+            "two_counter_race",
+            "proc main() { while (i < n) { i := i + 1; j := j + 1; } }",
+            true,
+        ),
+        (
+            "bounded_search",
+            "proc main() { found := 0; i := 0; while (i < n && found == 0) { if (*) { found := 1; } i := i + 1; } }",
+            true,
+        ),
+        (
+            "decreasing_pair_min",
+            "proc main() { while (x > 0 && y > 0) { if (*) { x := x - 1; } else { x := x - 1; y := y - 1; } } }",
+            true,
+        ),
+        (
+            "budget_refill_once",
+            r#"proc main() {
+                refilled := 0;
+                while (b > 0) {
+                    b := b - 1;
+                    if (b == 0 && refilled == 0) { refilled := 1; havoc b; assume(b >= 0 && b <= 100); }
+                }
+            }"#,
+            true,
+        ),
+        (
+            "nondet_walk_with_floor",
+            "proc main() { while (x > 0) { havoc step; assume(step >= 1); x := x - step; } }",
+            true,
+        ),
+        (
+            "strict_majority",
+            "proc main() { assume(y >= 1); while (x >= y) { x := x - y; } }",
+            true,
+        ),
+        (
+            "shifted_guard",
+            "proc main() { while (2*x > 10) { x := x - 3; } }",
+            true,
+        ),
+        (
+            "three_phase_cascade",
+            r#"proc main() {
+                while (a > 0 || b > 0 || c > 0) {
+                    if (a > 0) { a := a - 1; }
+                    else { if (b > 0) { b := b - 1; } else { c := c - 1; } }
+                }
+            }"#,
+            true,
+        ),
+        (
+            "conditional_even_countdown",
+            "proc main() { havoc k; assume(k >= 0); x := 2*k; while (x != 0) { x := x - 2; } }",
+            true,
+        ),
+    ]
+}
+
+/// The tasks of the suite.
+pub fn tasks() -> Vec<Task> {
+    table()
+        .into_iter()
+        .map(|(name, source, terminating)| {
+            Task::from_source(name, Suite::Termination, source, terminating)
+        })
+        .collect()
+}

@@ -1,0 +1,24 @@
+//! Transition formulas and the TF / MP interpretation algebras.
+//!
+//! This crate implements §3.3–§3.4 and §5.1 of *"Termination Analysis
+//! without the Tears"*:
+//!
+//! * [`TransitionFormula`] — LIA formulas over `Var ∪ Var'` with relational
+//!   composition, `Pre`/`Post` projections, weakest preconditions and the
+//!   over-approximate transitive closure `(-)★` built from the `exp`
+//!   operator and the convex hull of the Δ-formula;
+//! * [`TfAlgebra`] — the regular algebra of transition formulas;
+//! * [`MpAlgebra`] — the ω-algebra of mortal preconditions, parameterized by
+//!   a [`MortalPreconditionOperator`];
+//! * [`merge_vars`] — footprint bookkeeping shared with the front end.
+//!
+//! The concrete mortal precondition operators (`mpLLRF`, `mpexp`, phase
+//! analysis and the combinators) live in `compact-analysis`.
+
+#![warn(missing_docs)]
+
+mod algebra;
+mod transition;
+
+pub use algebra::{MortalPreconditionOperator, MpAlgebra, TfAlgebra};
+pub use transition::{merge_vars, TransitionFormula};

@@ -1,0 +1,498 @@
+//! Transition formulas (§3.3 of the paper).
+
+use compact_arith::Int;
+use compact_logic::{Formula, Symbol, Term, Valuation};
+use compact_polyhedra::convex_hull;
+use compact_smt::Solver;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A transition formula: an LIA formula over the program variables `Var` and
+/// their primed copies `Var'`, describing a binary relation on states.
+///
+/// A transition formula carries the list of program variables it is a
+/// relation over (its *footprint*).  Auxiliary free symbols introduced by
+/// relational composition ("Skolem constants" for the intermediate state) are
+/// implicitly existentially quantified; [`TransitionFormula::closed_formula`]
+/// makes that quantification explicit when needed.
+///
+/// # Examples
+///
+/// ```
+/// use compact_logic::{Symbol, Term};
+/// use compact_tf::TransitionFormula;
+/// let x = Symbol::intern("x");
+/// // x := x + 1
+/// let t = TransitionFormula::assign(x, Term::var(x) + 1, &[x]);
+/// assert!(t.formula().free_vars().contains(&Symbol::intern("x'")));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransitionFormula {
+    formula: Formula,
+    vars: Vec<Symbol>,
+}
+
+impl TransitionFormula {
+    /// Wraps a formula as a transition formula over the given program
+    /// variables.
+    pub fn new(formula: Formula, vars: &[Symbol]) -> TransitionFormula {
+        TransitionFormula { formula, vars: vars.to_vec() }
+    }
+
+    /// The transition formula `false` (no transitions).
+    pub fn bottom(vars: &[Symbol]) -> TransitionFormula {
+        TransitionFormula::new(Formula::False, vars)
+    }
+
+    /// The identity transition `⋀ x' = x` (the `1` of the TF algebra).
+    pub fn identity(vars: &[Symbol]) -> TransitionFormula {
+        let eqs = vars
+            .iter()
+            .map(|x| Formula::eq(Term::var(x.primed()), Term::var(*x)))
+            .collect();
+        TransitionFormula::new(Formula::and(eqs), vars)
+    }
+
+    /// The havoc transition: every variable may change arbitrarily.
+    pub fn havoc_all(vars: &[Symbol]) -> TransitionFormula {
+        TransitionFormula::new(Formula::True, vars)
+    }
+
+    /// An assumption `[cond]`: the condition holds on the pre-state and no
+    /// variable changes.
+    pub fn assume(cond: Formula, vars: &[Symbol]) -> TransitionFormula {
+        let identity = TransitionFormula::identity(vars);
+        TransitionFormula::new(Formula::and(vec![cond, identity.formula]), vars)
+    }
+
+    /// An assignment `x := term`: `x' = term` and every other variable is
+    /// unchanged.
+    pub fn assign(x: Symbol, term: Term, vars: &[Symbol]) -> TransitionFormula {
+        let mut parts = vec![Formula::eq(Term::var(x.primed()), term)];
+        for v in vars {
+            if *v != x {
+                parts.push(Formula::eq(Term::var(v.primed()), Term::var(*v)));
+            }
+        }
+        TransitionFormula::new(Formula::and(parts), vars)
+    }
+
+    /// A non-deterministic assignment `x := *`: `x'` is unconstrained and
+    /// every other variable is unchanged.
+    pub fn havoc(x: Symbol, vars: &[Symbol]) -> TransitionFormula {
+        let mut parts = Vec::new();
+        for v in vars {
+            if *v != x {
+                parts.push(Formula::eq(Term::var(v.primed()), Term::var(*v)));
+            }
+        }
+        TransitionFormula::new(Formula::and(parts), vars)
+    }
+
+    /// The underlying formula (auxiliary symbols left free).
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The program variables of the footprint.
+    pub fn vars(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// The formula with all auxiliary symbols (free symbols that are neither
+    /// in `Var` nor `Var'`) existentially quantified.
+    pub fn closed_formula(&self) -> Formula {
+        let aux = self.aux_symbols();
+        Formula::exists(aux.into_iter().collect(), self.formula.clone())
+    }
+
+    fn aux_symbols(&self) -> BTreeSet<Symbol> {
+        let allowed: BTreeSet<Symbol> = self
+            .vars
+            .iter()
+            .flat_map(|v| [*v, v.primed()])
+            .collect();
+        self.formula
+            .free_vars()
+            .into_iter()
+            .filter(|s| !allowed.contains(s))
+            .collect()
+    }
+
+    /// Disjunction (the `+` of the TF algebra).
+    pub fn or(&self, other: &TransitionFormula) -> TransitionFormula {
+        let vars = merge_vars(&self.vars, &other.vars);
+        TransitionFormula::new(
+            Formula::or(vec![self.formula.clone(), other.formula.clone()]),
+            &vars,
+        )
+    }
+
+    /// Relational composition (the `·` of the TF algebra).
+    ///
+    /// The intermediate state is represented by fresh Skolem symbols, which
+    /// remain free in the result (implicitly existentially quantified).
+    pub fn compose(&self, other: &TransitionFormula) -> TransitionFormula {
+        if self.formula.is_false() || other.formula.is_false() {
+            return TransitionFormula::bottom(&merge_vars(&self.vars, &other.vars));
+        }
+        let vars = merge_vars(&self.vars, &other.vars);
+        let mut left_map: BTreeMap<Symbol, Term> = BTreeMap::new();
+        let mut right_map: BTreeMap<Symbol, Term> = BTreeMap::new();
+        for v in &vars {
+            let mid = Symbol::fresh(&format!("{}#mid", v.name()));
+            left_map.insert(v.primed(), Term::var(mid));
+            right_map.insert(*v, Term::var(mid));
+        }
+        // Variables missing from one side's footprint are unchanged there.
+        let left = self.padded_formula(&vars).substitute(&left_map);
+        let right = other.padded_formula(&vars).substitute(&right_map);
+        TransitionFormula::new(Formula::and(vec![left, right]), &vars)
+    }
+
+    /// The formula extended with `x' = x` for footprint variables of the
+    /// enclosing program that this transition does not mention.
+    fn padded_formula(&self, vars: &[Symbol]) -> Formula {
+        let mut parts = vec![self.formula.clone()];
+        for v in vars {
+            if !self.vars.contains(v) {
+                parts.push(Formula::eq(Term::var(v.primed()), Term::var(*v)));
+            }
+        }
+        Formula::and(parts)
+    }
+
+    /// Re-footprints the transition formula over a larger variable set.
+    pub fn extend_footprint(&self, vars: &[Symbol]) -> TransitionFormula {
+        let merged = merge_vars(&self.vars, vars);
+        TransitionFormula::new(self.padded_formula(&merged), &merged)
+    }
+
+    /// `Pre(F) ≜ ∃Var'. F` as a quantifier-free state formula.
+    pub fn pre(&self, solver: &Solver) -> Formula {
+        let primed: Vec<Symbol> = self.vars.iter().map(Symbol::primed).collect();
+        let mut quantified: Vec<Symbol> = primed;
+        quantified.extend(self.aux_symbols());
+        solver.qe(&Formula::exists(quantified, self.formula.clone()))
+    }
+
+    /// `Post(F) ≜ ∃Var. F`, expressed over `Var` (the primed variables are
+    /// renamed back to their unprimed versions).
+    pub fn post(&self, solver: &Solver) -> Formula {
+        let mut quantified: Vec<Symbol> = self.vars.clone();
+        quantified.extend(self.aux_symbols());
+        let projected = solver.qe(&Formula::exists(quantified, self.formula.clone()));
+        let rename: BTreeMap<Symbol, Symbol> = self
+            .vars
+            .iter()
+            .map(|v| (v.primed(), *v))
+            .collect();
+        projected.rename(&rename)
+    }
+
+    /// The weakest precondition `wp(F, S) ≜ ∀Var'. F ⇒ S[Var ↦ Var']`,
+    /// returned as a quantifier-free state formula over `Var`.
+    pub fn wp(&self, solver: &Solver, post: &Formula) -> Formula {
+        let prime_map: BTreeMap<Symbol, Term> = self
+            .vars
+            .iter()
+            .map(|v| (*v, Term::var(v.primed())))
+            .collect();
+        let shifted_post = post.substitute(&prime_map);
+        let mut quantified: Vec<Symbol> = self.vars.iter().map(Symbol::primed).collect();
+        quantified.extend(self.aux_symbols());
+        let wp = Formula::forall(
+            quantified,
+            Formula::implies(self.formula.clone(), shifted_post),
+        );
+        solver.qe(&wp).simplify()
+    }
+
+    /// The `exp(F, k)` operator of §3.3: a formula entailed by `F^k` for
+    /// every `k ≥ 0`, combining the reflexive pre/post approximation with the
+    /// recurrence inequalities obtained from the convex hull of the
+    /// Δ-formula.
+    pub fn exp(&self, solver: &Solver, k: Symbol) -> Formula {
+        // Part 1:  (⋀ x' = x)  ∨  (Pre(F) ∧ Post(F)[Var ↦ Var']).
+        let identity = TransitionFormula::identity(&self.vars).formula;
+        let pre = self.pre(solver);
+        let post_over_post_vars = {
+            let prime_map: BTreeMap<Symbol, Term> = self
+                .vars
+                .iter()
+                .map(|v| (*v, Term::var(v.primed())))
+                .collect();
+            self.post(solver).substitute(&prime_map)
+        };
+        let part1 = Formula::or(vec![
+            identity,
+            Formula::and(vec![pre, post_over_post_vars]),
+        ]);
+
+        // Part 2: recurrence inequalities from the convex hull of the
+        // Δ-formula, scaled by k.
+        let recurrences = self.delta_hull_constraints(solver);
+        let mut scaled = Vec::new();
+        for (delta_term, constant, is_eq) in recurrences {
+            // delta_term + constant (≤ / =) 0 over the δ variables, where δ_x
+            // stands for x' - x.  The k-step version replaces the constant c
+            // by c·k.
+            let mut substituted = Term::constant(Int::zero());
+            for (sym, coeff) in delta_term.iter() {
+                // sym is δ_x encoded as the program variable x itself.
+                substituted = substituted
+                    + (Term::var(sym.primed()) - Term::var(*sym)).scale(coeff.clone());
+            }
+            substituted = substituted + Term::var(k).scale(constant);
+            scaled.push(if is_eq {
+                Formula::eq(substituted, Term::constant(0))
+            } else {
+                Formula::le(substituted, Term::constant(0))
+            });
+        }
+        Formula::and(vec![part1, Formula::and(scaled)])
+    }
+
+    /// Computes the constraints of `conv(∃Var,Var'. F ∧ ⋀ δ_x = x' - x)`,
+    /// returned as triples `(linear term over Var standing for the δ
+    /// variables, constant, is_equality)`.
+    fn delta_hull_constraints(&self, solver: &Solver) -> Vec<(Term, Int, bool)> {
+        // Introduce δ variables (named after the program variables to keep
+        // the result easy to substitute).
+        let mut delta_of: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+        let mut defs = vec![self.formula.clone()];
+        for v in &self.vars {
+            let d = Symbol::fresh(&format!("delta_{}", v.name()));
+            delta_of.insert(*v, d);
+            defs.push(Formula::eq(
+                Term::var(d),
+                Term::var(v.primed()) - Term::var(*v),
+            ));
+        }
+        let with_deltas = Formula::and(defs);
+        let hull = convex_hull(solver, &with_deltas);
+        // Project the hull onto the δ variables.
+        let deltas: Vec<Symbol> = delta_of.values().copied().collect();
+        let eliminate: Vec<Symbol> = hull
+            .vars()
+            .into_iter()
+            .filter(|v| !deltas.contains(v))
+            .collect();
+        let projected = hull.project_out(&eliminate);
+
+        let back: BTreeMap<Symbol, Symbol> = delta_of.iter().map(|(v, d)| (*d, *v)).collect();
+        projected
+            .constraints()
+            .iter()
+            .map(|c| {
+                let renamed = c.term.rename(&back);
+                let constant = renamed.constant_part().clone();
+                let var_part = renamed - Term::constant(constant.clone());
+                (var_part, constant, c.is_eq)
+            })
+            .collect()
+    }
+
+    /// The `(-)★` operator: an over-approximation of the reflexive
+    /// transitive closure of the transition formula (§3.3).
+    pub fn star(&self, solver: &Solver) -> TransitionFormula {
+        let k = Symbol::fresh("loop_k");
+        let body = self.exp(solver, k);
+        let closed = Formula::and(vec![
+            Formula::ge(Term::var(k), Term::constant(0)),
+            body,
+        ]);
+        // k stays free (it is an auxiliary, implicitly existential symbol).
+        TransitionFormula::new(closed, &self.vars)
+    }
+
+    /// Evaluates the transition formula on a concrete pair of states.
+    pub fn accepts(&self, solver: &Solver, pre: &Valuation, post: &Valuation) -> bool {
+        let transition = Valuation::transition(pre, post);
+        let mut substitution: BTreeMap<Symbol, Term> = BTreeMap::new();
+        for (sym, value) in transition.iter() {
+            substitution.insert(*sym, Term::constant(value.clone()));
+        }
+        let grounded = self.formula.substitute(&substitution);
+        solver.is_sat(&grounded)
+    }
+
+    /// Returns `true` if the transition relation is empty.
+    pub fn is_empty(&self, solver: &Solver) -> bool {
+        !solver.is_sat(&self.formula)
+    }
+
+    /// Logical entailment between transition formulas (over their closure).
+    pub fn entails(&self, solver: &Solver, other: &TransitionFormula) -> bool {
+        solver.entails(&self.closed_formula(), &other.closed_formula())
+    }
+}
+
+impl fmt::Display for TransitionFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.formula)
+    }
+}
+
+/// Merges two footprints, preserving order and removing duplicates.
+pub fn merge_vars(a: &[Symbol], b: &[Symbol]) -> Vec<Symbol> {
+    let mut out = a.to_vec();
+    for v in b {
+        if !out.contains(v) {
+            out.push(*v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compact_logic::parse_formula;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn vars(names: &[&str]) -> Vec<Symbol> {
+        names.iter().map(|n| Symbol::intern(n)).collect()
+    }
+
+    #[test]
+    fn assign_and_assume() {
+        let vs = vars(&["x", "y"]);
+        let solver = Solver::new();
+        let t = TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs);
+        // (x=0, y=5) -> (x=1, y=5) is accepted.
+        let pre: Valuation = [(sym("x"), 0.into()), (sym("y"), 5.into())].into_iter().collect();
+        let post: Valuation = [(sym("x"), 1.into()), (sym("y"), 5.into())].into_iter().collect();
+        assert!(t.accepts(&solver, &pre, &post));
+        // y must not change.
+        let bad: Valuation = [(sym("x"), 1.into()), (sym("y"), 6.into())].into_iter().collect();
+        assert!(!t.accepts(&solver, &pre, &bad));
+
+        let a = TransitionFormula::assume(parse_formula("x < 3").unwrap(), &vs);
+        assert!(a.accepts(&solver, &pre, &pre));
+        let high: Valuation = [(sym("x"), 7.into()), (sym("y"), 5.into())].into_iter().collect();
+        assert!(!a.accepts(&solver, &high, &high));
+    }
+
+    #[test]
+    fn composition_sequences_updates() {
+        let vs = vars(&["x"]);
+        let solver = Solver::new();
+        let inc = TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs);
+        let double_inc = inc.compose(&inc);
+        let pre: Valuation = [(sym("x"), 3.into())].into_iter().collect();
+        let post: Valuation = [(sym("x"), 5.into())].into_iter().collect();
+        let wrong: Valuation = [(sym("x"), 4.into())].into_iter().collect();
+        assert!(double_inc.accepts(&solver, &pre, &post));
+        assert!(!double_inc.accepts(&solver, &pre, &wrong));
+    }
+
+    #[test]
+    fn composition_with_bottom_is_bottom() {
+        let vs = vars(&["x"]);
+        let solver = Solver::new();
+        let inc = TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs);
+        let bot = TransitionFormula::bottom(&vs);
+        assert!(inc.compose(&bot).is_empty(&solver));
+        assert!(bot.compose(&inc).is_empty(&solver));
+    }
+
+    #[test]
+    fn pre_and_post() {
+        let vs = vars(&["x"]);
+        let solver = Solver::new();
+        // [x >= 5]; x := x + 1
+        let t = TransitionFormula::assume(parse_formula("x >= 5").unwrap(), &vs)
+            .compose(&TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs));
+        let pre = t.pre(&solver);
+        assert!(solver.equivalent(&pre, &parse_formula("x >= 5").unwrap()));
+        let post = t.post(&solver);
+        assert!(solver.equivalent(&post, &parse_formula("x >= 6").unwrap()));
+    }
+
+    #[test]
+    fn weakest_precondition() {
+        let vs = vars(&["x"]);
+        let solver = Solver::new();
+        let t = TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs);
+        let wp = t.wp(&solver, &parse_formula("x >= 10").unwrap());
+        assert!(solver.equivalent(&wp, &parse_formula("x >= 9").unwrap()));
+        // wp through an assumption weakens to an implication.
+        let guard = TransitionFormula::assume(parse_formula("x >= 0").unwrap(), &vs);
+        let wp2 = guard.wp(&solver, &parse_formula("x >= 10").unwrap());
+        assert!(solver.equivalent(
+            &wp2,
+            &parse_formula("x >= 0 -> x >= 10").unwrap()
+        ));
+    }
+
+    #[test]
+    fn star_of_counting_loop() {
+        // x := x + 1  starred: x' >= x and nothing stronger about the gap.
+        let vs = vars(&["x"]);
+        let solver = Solver::new();
+        let inc = TransitionFormula::assign(sym("x"), Term::var(sym("x")) + 1, &vs);
+        let star = inc.star(&solver);
+        // The identity transition is included.
+        let s3: Valuation = [(sym("x"), 3.into())].into_iter().collect();
+        assert!(star.accepts(&solver, &s3, &s3));
+        // Multiple steps are included.
+        let s7: Valuation = [(sym("x"), 7.into())].into_iter().collect();
+        assert!(star.accepts(&solver, &s3, &s7));
+        // Going backwards is excluded (x only increases).
+        let s1: Valuation = [(sym("x"), 1.into())].into_iter().collect();
+        assert!(!star.accepts(&solver, &s3, &s1));
+    }
+
+    #[test]
+    fn star_of_figure1_inner_loop() {
+        // inner ≜ m < step ∧ n >= 0 ∧ m' = m+1 ∧ n' = n-1 ∧ step' = step
+        let vs = vars(&["m", "n", "step"]);
+        let solver = Solver::new();
+        let inner = TransitionFormula::new(
+            parse_formula("m < step && n >= 0 && m' = m + 1 && n' = n - 1 && step' = step")
+                .unwrap(),
+            &vs,
+        );
+        let star = inner.star(&solver);
+        // m + n is invariant under the loop: m' + n' = m + n after any number
+        // of iterations.
+        let claim = parse_formula("m' + n' = m + n && step' = step").unwrap();
+        assert!(solver.entails(&star.closed_formula(), &claim));
+        // And m never decreases.
+        assert!(solver.entails(&star.closed_formula(), &parse_formula("m' >= m").unwrap()));
+    }
+
+    #[test]
+    fn footprint_merging() {
+        let a = TransitionFormula::assign(sym("x"), Term::constant(1), &vars(&["x"]));
+        let b = TransitionFormula::assign(sym("y"), Term::constant(2), &vars(&["y"]));
+        let c = a.compose(&b);
+        assert_eq!(c.vars().len(), 2);
+        let solver = Solver::new();
+        let pre: Valuation = [(sym("x"), 0.into()), (sym("y"), 0.into())].into_iter().collect();
+        let post: Valuation = [(sym("x"), 1.into()), (sym("y"), 2.into())].into_iter().collect();
+        assert!(c.accepts(&solver, &pre, &post));
+        // x must keep its assigned value through b.
+        let bad: Valuation = [(sym("x"), 3.into()), (sym("y"), 2.into())].into_iter().collect();
+        assert!(!c.accepts(&solver, &pre, &bad));
+    }
+
+    #[test]
+    fn or_unions_behaviour() {
+        let vs = vars(&["g"]);
+        let solver = Solver::new();
+        let dec1 = TransitionFormula::assign(sym("g"), Term::var(sym("g")) - 1, &vs);
+        let dec2 = TransitionFormula::assign(sym("g"), Term::var(sym("g")) - 2, &vs);
+        let both = dec1.or(&dec2);
+        let s5: Valuation = [(sym("g"), 5.into())].into_iter().collect();
+        let s4: Valuation = [(sym("g"), 4.into())].into_iter().collect();
+        let s3: Valuation = [(sym("g"), 3.into())].into_iter().collect();
+        assert!(both.accepts(&solver, &s5, &s4));
+        assert!(both.accepts(&solver, &s5, &s3));
+        assert!(!both.accepts(&solver, &s5, &s5));
+    }
+}

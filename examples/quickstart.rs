@@ -1,0 +1,27 @@
+//! Quickstart: prove termination of a small program and inspect the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use compact::prelude::*;
+
+fn main() {
+    let source = r#"
+        proc main() {
+            // A loop with a simple linear ranking function.
+            while (x > 0 && y > 0) {
+                if (x > y) { x := x - 1; } else { y := y - 1; }
+            }
+        }
+    "#;
+
+    let analyzer = Analyzer::with_default_config();
+    let report = analyzer.analyze_source(source).expect("program compiles");
+
+    println!("operator configuration : {}", report.operator);
+    println!("mortal precondition    : {}", report.mortal_precondition);
+    println!("verdict                : {:?}", report.verdict);
+    println!("analysis time          : {:.3}s", report.analysis_time.as_secs_f64());
+
+    assert!(report.proved_termination());
+    println!("\nThe program terminates from every initial state.");
+}

@@ -1,0 +1,62 @@
+//! ComPACT: Compositional and Predictable Analysis for Conditional Termination.
+//!
+//! This is the façade crate of the ComPACT-rs workspace, a Rust reproduction
+//! of *"Termination Analysis without the Tears"* (Zhu & Kincaid, PLDI 2021).
+//! It re-exports the public APIs of the individual crates so downstream users
+//! can depend on a single crate:
+//!
+//! * [`arith`] — exact arithmetic (big integers, rationals, simplex LP);
+//! * [`logic`] — linear integer arithmetic terms and formulas;
+//! * [`smt`] — satisfiability, validity and quantifier elimination for LIA;
+//! * [`polyhedra`] — convex polyhedra, convex hull and affine hull of formulas;
+//! * [`regex`] — ω-regular expressions and interpretation algebras;
+//! * [`graph`] — control-flow graphs and (ω-)path-expression algorithms;
+//! * [`tf`] — transition formulas and the TF/MP algebras;
+//! * [`analysis`] — the termination analysis itself (mortal precondition
+//!   operators, phase analysis, inter-procedural analysis);
+//! * [`lang`] — the mini imperative language front end;
+//! * [`baselines`] — non-compositional baseline analyzers used in the
+//!   evaluation;
+//! * [`suites`] — the benchmark corpus used to reproduce the paper's tables.
+//!
+//! # Quick start
+//!
+//! ```
+//! use compact::prelude::*;
+//!
+//! let program = r#"
+//!     proc main() {
+//!         step := 8;
+//!         while (true) {
+//!             m := 0;
+//!             while (m < step) {
+//!                 if (n < 0) { halt; } else { m := m + 1; n := n - 1; }
+//!             }
+//!         }
+//!     }
+//! "#;
+//! let analyzer = Analyzer::with_default_config();
+//! let report = analyzer.analyze_source(program).unwrap();
+//! assert!(report.proved_termination());
+//! ```
+
+pub use compact_analysis as analysis;
+pub use compact_arith as arith;
+pub use compact_baselines as baselines;
+pub use compact_graph as graph;
+pub use compact_lang as lang;
+pub use compact_logic as logic;
+pub use compact_polyhedra as polyhedra;
+pub use compact_regex as regex;
+pub use compact_smt as smt;
+pub use compact_suites as suites;
+pub use compact_tf as tf;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use compact_analysis::{Analyzer, AnalyzerConfig, TerminationReport, Verdict};
+    pub use compact_lang::{parse_program, Program};
+    pub use compact_logic::{Formula, Symbol, Term};
+    pub use compact_smt::Solver;
+    pub use compact_tf::TransitionFormula;
+}

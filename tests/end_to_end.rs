@@ -1,0 +1,104 @@
+//! Cross-crate integration tests: front end → path expressions → algebraic
+//! interpretation → verdicts, on the paper's running examples.
+
+use compact::prelude::*;
+use compact_analysis::{AnalyzerConfig, Verdict};
+
+fn analyze(source: &str) -> compact_analysis::TerminationReport {
+    Analyzer::with_default_config()
+        .analyze_source(source)
+        .expect("program compiles")
+}
+
+#[test]
+fn terminating_programs_are_proved() {
+    let programs = [
+        "proc main() { x := 0; while (x < 10) { x := x + 1; } }",
+        "proc main() { while (x > 0) { havoc d; assume(d >= 1); x := x - d; } }",
+        "proc main() { while (x > y) { x := x - 1; y := y + 1; } }",
+    ];
+    for source in programs {
+        let report = analyze(source);
+        assert!(report.proved_termination(), "not proved: {}", source);
+    }
+}
+
+#[test]
+fn divergent_programs_are_not_proved() {
+    let programs = [
+        "proc main() { while (true) { x := x + 1; } }",
+        "proc main() { while (x > 0) { x := x; } }",
+    ];
+    for source in programs {
+        let report = analyze(source);
+        assert!(!report.proved_termination(), "unsound verdict on: {}", source);
+    }
+}
+
+#[test]
+fn figure1_terminates_and_inner_loop_summary_is_usable() {
+    let report = analyze(
+        r#"
+        proc main() {
+            step := 8;
+            while (true) {
+                m := 0;
+                while (m < step) {
+                    if (n < 0) { halt; } else { m := m + 1; n := n - 1; }
+                }
+            }
+        }
+        "#,
+    );
+    assert!(report.proved_termination());
+}
+
+#[test]
+fn conditional_termination_produces_nontrivial_precondition() {
+    let report = analyze(
+        r#"
+        proc main() {
+            while (x > 0) {
+                if (f >= 0) { x := x - y; y := y + 1; f := f + 1; }
+                else { x := x + 1; f := f - 1; }
+            }
+        }
+        "#,
+    );
+    assert_eq!(report.verdict, Verdict::Conditional);
+    let solver = Solver::new();
+    // Example 6.5: the precondition covers f >= 0.
+    let covered = compact_logic::parse_formula("f >= 0").unwrap();
+    assert!(solver.entails(&covered, &report.mortal_precondition));
+}
+
+#[test]
+fn ablation_configurations_are_ordered_by_strength_on_an_easy_loop() {
+    // Every configuration proves the trivial counting loop.
+    let source = "proc main() { while (x > 0) { x := x - 1; } }";
+    for config in [
+        AnalyzerConfig::llrf_only(),
+        AnalyzerConfig::exp_only(),
+        AnalyzerConfig::compact_default(),
+    ] {
+        let analyzer = Analyzer::new(config.clone());
+        let report = analyzer.analyze_source(source).unwrap();
+        assert!(
+            report.proved_termination(),
+            "configuration {} failed",
+            config.describe()
+        );
+    }
+}
+
+#[test]
+fn prelude_exposes_the_advertised_api() {
+    // The quick-start shown in the crate documentation.
+    let program = parse_program("proc main() { x := 1; }").unwrap();
+    assert_eq!(program.procedures.len(), 1);
+    let f: Formula = compact_logic::parse_formula("x >= 0").unwrap();
+    let t: Term = Term::var(Symbol::intern("x"));
+    assert_eq!(t.to_string(), "x");
+    let tf = TransitionFormula::assume(f, &[Symbol::intern("x")]);
+    assert!(!tf.formula().is_false());
+}

@@ -1,0 +1,141 @@
+//! Tests for the paper's headline behavioural guarantees: monotonicity
+//! (Proposition 5.2) and soundness of the mortal precondition operators,
+//! checked against concrete semantics by bounded simulation.
+
+use compact_analysis::{MpExp, MpLlrf, Ordered, PhaseAnalysis};
+use compact_arith::Int;
+use compact_logic::{parse_formula, Formula, Symbol, Term, Valuation};
+use compact_smt::Solver;
+use compact_tf::{MortalPreconditionOperator, TransitionFormula};
+use proptest::prelude::*;
+
+fn tf(formula: &str, vars: &[&str]) -> TransitionFormula {
+    let vs: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(v)).collect();
+    TransitionFormula::new(parse_formula(formula).unwrap(), &vs)
+}
+
+/// Monotonicity of an operator: strengthening the loop body (more
+/// information in) must not weaken the mortal precondition (less information
+/// out).
+fn check_monotone(operator: &dyn MortalPreconditionOperator, weak: &TransitionFormula, extra: &str) {
+    let solver = Solver::new();
+    let strong = TransitionFormula::new(
+        Formula::and(vec![weak.formula().clone(), parse_formula(extra).unwrap()]),
+        weak.vars(),
+    );
+    let mp_weak = operator.mortal_precondition(&solver, weak);
+    let mp_strong = operator.mortal_precondition(&solver, &strong);
+    assert!(
+        solver.entails(&mp_weak, &mp_strong),
+        "{}: mp({}) = {} does not entail mp(strengthened) = {}",
+        operator.name(),
+        weak,
+        mp_weak,
+        mp_strong
+    );
+}
+
+#[test]
+fn mp_llrf_is_monotone_on_examples() {
+    let op = MpLlrf::new();
+    check_monotone(&op, &tf("x' = x - 1 || x' = x + 1", &["x"]), "x > 0 && x' < x");
+    check_monotone(&op, &tf("x > 0 && (x' = x - 1 || x' = x)", &["x"]), "x' = x - 1");
+    check_monotone(&op, &tf("x != 0 && x' = x - 2", &["x"]), "x > 0");
+}
+
+#[test]
+fn mp_exp_is_monotone_on_examples() {
+    let op = MpExp::new();
+    check_monotone(&op, &tf("x' = x - 2", &["x"]), "x != 0");
+    check_monotone(&op, &tf("x >= 0 && x' = x + 1", &["x"]), "x >= 5");
+}
+
+#[test]
+#[ignore = "expensive (phase analysis over the Figure 4 loop, twice); run with --ignored"]
+fn combined_operator_is_monotone_on_examples() {
+    let op = PhaseAnalysis::new(Ordered::new(MpLlrf::new(), MpExp::new()));
+    check_monotone(
+        &op,
+        &tf(
+            "x > 0 && ((f >= 0 && x' = x - y && y' = y + 1 && f' = f + 1) || (f < 0 && x' = x + 1 && f' = f - 1 && y' = y))",
+            &["x", "y", "f"],
+        ),
+        "f >= 0",
+    );
+}
+
+/// Bounded-interpreter soundness check: any state satisfying the computed
+/// mortal precondition must not start a concrete run longer than `fuel`
+/// steps when the loop's reachable state space is finite by construction.
+fn assert_no_long_run_from_mortal_states(
+    operator: &dyn MortalPreconditionOperator,
+    body: &TransitionFormula,
+    starts: impl Iterator<Item = i64>,
+    fuel: usize,
+    step: impl Fn(i64) -> Option<i64>,
+) {
+    let solver = Solver::new();
+    let mp = operator.mortal_precondition(&solver, body);
+    let x = Symbol::intern("x");
+    for start in starts {
+        let mut valuation = Valuation::new();
+        valuation.set(x, Int::from(start));
+        if mp
+            .substitute(&[(x, Term::constant(start))].into_iter().collect())
+            .eval(&Valuation::new())
+            .unwrap_or(false)
+        {
+            // The state is claimed mortal: simulate.
+            let mut current = start;
+            for used in 0..=fuel {
+                match step(current) {
+                    None => break,
+                    Some(next) => {
+                        assert!(
+                            used < fuel,
+                            "{}: state {} claimed mortal but ran for {} steps",
+                            operator.name(),
+                            start,
+                            fuel
+                        );
+                        current = next;
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `mpexp` never declares a divergent start state mortal for the
+    /// threshold-divergence loop `while (x >= t) x := x + 1`.
+    #[test]
+    fn mp_exp_soundness_on_threshold_loops(t in -3i64..3) {
+        let body = tf(&format!("x >= {t} && x' = x + 1"), &["x"]);
+        let op = MpExp::new();
+        assert_no_long_run_from_mortal_states(
+            &op,
+            &body,
+            -6..6,
+            64,
+            |x| if x >= t { Some(x + 1) } else { None },
+        );
+    }
+
+    /// `mpLLRF ⋉ mpexp` is sound on bounded-decrease loops
+    /// `while (x > 0) x := x - d` for a fixed d.
+    #[test]
+    fn combined_soundness_on_countdown_loops(d in 1i64..4) {
+        let body = tf(&format!("x > 0 && x' = x - {d}"), &["x"]);
+        let op = Ordered::new(MpLlrf::new(), MpExp::new());
+        assert_no_long_run_from_mortal_states(
+            &op,
+            &body,
+            -4..20,
+            64,
+            |x| if x > 0 { Some(x - d) } else { None },
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the logical substrate: the SMT solver and Cooper
+//! quantifier elimination are compared against brute-force evaluation over a
+//! small grid, and the arithmetic layer is checked against `i128` arithmetic.
+
+use compact_arith::{Int, Rat};
+use compact_logic::{Formula, Symbol, Term, Valuation};
+use compact_smt::{eliminate_quantifiers, Solver};
+use proptest::prelude::*;
+
+/// A small strategy for linear terms over two fixed variables.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    (-3i64..4, -3i64..4, -5i64..6).prop_map(|(a, b, c)| {
+        Term::var(Symbol::intern("p")) * a + Term::var(Symbol::intern("q")) * b + c
+    })
+}
+
+/// A strategy for small quantifier-free formulas over `p` and `q`.
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let atom = prop_oneof![
+        term_strategy().prop_map(|t| Formula::le(t, Term::constant(0))),
+        term_strategy().prop_map(|t| Formula::eq(t, Term::constant(0))),
+        (2i64..4, term_strategy()).prop_map(|(n, t)| Formula::divides(n, t)),
+    ];
+    atom.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+/// Brute-force satisfiability of a formula over `p, q ∈ [-bound, bound]`.
+fn brute_force_sat(f: &Formula, bound: i64) -> bool {
+    for p in -bound..=bound {
+        for q in -bound..=bound {
+            let mut v = Valuation::new();
+            v.set(Symbol::intern("p"), p.into());
+            v.set(Symbol::intern("q"), q.into());
+            if f.eval(&v) == Some(true) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// If a formula has a model in a small box, the solver must find one
+    /// (and it must actually satisfy the formula).
+    #[test]
+    fn solver_agrees_with_brute_force(f in formula_strategy()) {
+        let solver = Solver::new();
+        let brute = brute_force_sat(&f, 4);
+        if brute {
+            let model = solver.model(&f);
+            prop_assert!(model.is_some(), "solver missed a model of {}", f);
+            prop_assert_eq!(f.eval(&model.unwrap()), Some(true));
+        } else if solver.is_sat(&f) {
+            // The solver may find a model outside the box; verify it.
+            let model = solver.model(&f).expect("sat implies model");
+            prop_assert_eq!(f.eval(&model), Some(true), "bogus model for {}", f);
+        }
+    }
+
+    /// Quantifier elimination preserves the set of models of ∃q.F over the
+    /// remaining variable.
+    #[test]
+    fn cooper_elimination_is_equivalent(f in formula_strategy()) {
+        let q = Symbol::intern("q");
+        let exists = Formula::exists(vec![q], f);
+        let eliminated = eliminate_quantifiers(&exists);
+        prop_assert!(eliminated.is_quantifier_free());
+        for p in -4i64..=4 {
+            let mut v = Valuation::new();
+            v.set(Symbol::intern("p"), p.into());
+            // Ground truth: does some q in a wide range satisfy f?  Cooper's
+            // small-model property for these coefficients keeps witnesses
+            // within the scanned range.
+            let mut witness = false;
+            for q_val in -40i64..=40 {
+                let mut w = v.clone();
+                w.set(q, q_val.into());
+                if exists_body(&exists).eval(&w) == Some(true) {
+                    witness = true;
+                    break;
+                }
+            }
+            let qe_value = eliminated.eval(&v);
+            prop_assert_eq!(
+                qe_value, Some(witness),
+                "disagreement at p={} for {}", p, eliminated
+            );
+        }
+    }
+
+    /// Big-integer arithmetic agrees with i128 on small values.
+    #[test]
+    fn int_matches_i128(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let ia = Int::from(a);
+        let ib = Int::from(b);
+        prop_assert_eq!((&ia + &ib).to_i64(), Some(a + b));
+        prop_assert_eq!((&ia - &ib).to_i64(), Some(a - b));
+        prop_assert_eq!((&ia * &ib).to_i64(), (a as i128 * b as i128).try_into().ok());
+        if b != 0 {
+            prop_assert_eq!((&ia / &ib).to_i64(), Some(a / b));
+            prop_assert_eq!((&ia % &ib).to_i64(), Some(a % b));
+        }
+    }
+
+    /// Rational arithmetic satisfies field laws on small values.
+    #[test]
+    fn rat_field_laws(a in -20i64..20, b in 1i64..20, c in -20i64..20, d in 1i64..20) {
+        let x = Rat::new(a.into(), b.into());
+        let y = Rat::new(c.into(), d.into());
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&(&x + &y) - &y, x.clone());
+        prop_assert_eq!(&x * &y, &y * &x);
+        if !y.is_zero() {
+            prop_assert_eq!(&(&x / &y) * &y, x);
+        }
+    }
+}
+
+/// Extracts the body of a top-level existential (helper for the QE test).
+fn exists_body(f: &Formula) -> &Formula {
+    match f {
+        Formula::Exists(_, body) => body,
+        other => other,
+    }
+}
